@@ -1,0 +1,142 @@
+// RBPC vs the restoration baselines it is positioned against (paper §1):
+//
+//   "Previous work proposed to address this costly establishment by
+//    compromising the 'quality' of the backup paths ... Our approach
+//    enables fast restoration without compromising the quality of backup
+//    paths."
+//
+// Schemes compared under the paper's single-link-failure methodology on the
+// weighted ISP topology:
+//   rbpc          — source-router RBPC (concatenation of base LSPs)
+//   disjoint      — pre-provisioned edge-disjoint backup per pair
+//   ksp-3         — 3 pre-provisioned cheapest loopless paths per pair
+//   per-failure   — one explicit optimal backup per (pair, link)
+//
+// Metrics: restoration success rate, mean cost stretch vs the optimal
+// surviving route, and pre-provisioned state (LSPs / ILM entries) for the
+// sampled pairs.
+//
+// Flags: --seed N, --samples N, --two-failures (also run the k=2 class)
+#include <iostream>
+
+#include "core/base_set.hpp"
+#include "core/baselines.hpp"
+#include "core/restoration.hpp"
+#include "core/scenario.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+using graph::FailureMask;
+using graph::Path;
+
+struct Score {
+  std::size_t cases = 0;
+  std::size_t restored = 0;
+  RatioOfMeans cost_vs_optimal;
+
+  void add(const graph::Graph& g, spf::Metric metric, const Path& route,
+           const Path& optimal) {
+    ++cases;
+    if (route.empty()) return;
+    ++restored;
+    graph::Weight rc = 0;
+    graph::Weight oc = 0;
+    for (auto e : route.edges()) rc += spf::metric_weight(g, e, metric);
+    for (auto e : optimal.edges()) oc += spf::metric_weight(g, e, metric);
+    cost_vs_optimal.add(static_cast<double>(rc), static_cast<double>(oc));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t samples = args.get_uint("samples", 120);
+  const bool two_failures = args.get_bool("two-failures", true);
+
+  Rng topo_rng(seed);
+  const graph::Graph g = topo::make_isp_like(topo_rng, /*weighted=*/true);
+  const auto metric = spf::Metric::Weighted;
+  std::cout << "topology: " << g.summary() << "\n";
+
+  spf::DistanceOracle oracle(g, FailureMask{}, metric);
+  core::CanonicalBaseSet base(oracle);
+  core::DisjointBackupScheme disjoint(g, metric);
+  core::KspBackupScheme ksp(g, metric, 3);
+  core::PerFailureBackupScheme per_failure(g, metric);
+
+  std::vector<core::FailureClass> classes{core::FailureClass::OneLink};
+  if (two_failures) classes.push_back(core::FailureClass::TwoLinks);
+
+  for (const auto cls : classes) {
+    Score s_rbpc;
+    Score s_disjoint;
+    Score s_ksp;
+    Score s_pf;
+
+    Rng rng(seed * 1000 + 31);
+    for (std::size_t i = 0; i < samples; ++i) {
+      Rng sample_rng = rng.fork();
+      const core::SamplePair pair = core::sample_pair(oracle, sample_rng);
+      for (const auto& sc : core::scenarios_for(pair, cls, sample_rng, 16)) {
+        const Path optimal =
+            spf::shortest_path(g, pair.src, pair.dst, sc.mask,
+                               spf::SpfOptions{.metric = metric, .padded = true});
+        if (optimal.empty()) continue;  // score restorable cases only
+
+        const core::Restoration r =
+            core::source_rbpc_restore(base, pair.src, pair.dst, sc.mask);
+        s_rbpc.add(g, metric, r.backup, optimal);
+        s_disjoint.add(g, metric,
+                       disjoint.restore(pair.src, pair.dst, sc.mask).route,
+                       optimal);
+        s_ksp.add(g, metric, ksp.restore(pair.src, pair.dst, sc.mask).route,
+                  optimal);
+        s_pf.add(g, metric,
+                 per_failure.restore(pair.src, pair.dst, sc.mask).route,
+                 optimal);
+      }
+    }
+
+    std::cout << "\nAfter " << core::to_string(cls) << " (" << s_rbpc.cases
+              << " restorable cases):\n";
+    TablePrinter table({"scheme", "restored", "success", "cost vs optimal",
+                        "pre-provisioned LSPs", "ILM entries"});
+    auto row = [&](const char* name, const Score& s, std::size_t lsps,
+                   std::size_t ilm, const char* lsp_note) {
+      table.add_row(
+          {name, std::to_string(s.restored),
+           TablePrinter::percent(static_cast<double>(s.restored) /
+                                 static_cast<double>(s.cases)),
+           s.cost_vs_optimal.empty()
+               ? "-"
+               : TablePrinter::num(s.cost_vs_optimal.value(), 3) + "x",
+           lsps == 0 ? lsp_note : std::to_string(lsps),
+           ilm == 0 ? "-" : std::to_string(ilm)});
+    };
+    row("rbpc (source)", s_rbpc, 0, 0, "base set (shared)");
+    row("disjoint backup", s_disjoint, disjoint.cost().lsps,
+        disjoint.cost().ilm_entries, "");
+    row("ksp-3 backup", s_ksp, ksp.cost().lsps, ksp.cost().ilm_entries, "");
+    row("per-failure backup", s_pf, per_failure.cost().lsps,
+        per_failure.cost().ilm_entries, "");
+    std::cout << table.to_text();
+  }
+
+  std::cout
+      << "\nexpected shape: RBPC restores 100% of restorable cases at cost "
+         "1.000x (it IS the\noptimal route) with no per-pair backup state; "
+         "disjoint/ksp trade quality or success\nfor simplicity, and the "
+         "per-failure design pays the largest state bill and goes\nblind "
+         "under multi-failures — the paper's Section 1 argument, "
+         "quantified.\n";
+  return 0;
+}

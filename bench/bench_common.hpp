@@ -1,0 +1,53 @@
+// Shared helpers for the table benches: the four paper topologies and
+// their standard experiment parameters (Section 5: 200 samples on the ISP,
+// 40 on the two internet-scale topologies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spf/metric.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::bench {
+
+struct NetworkCase {
+  std::string name;          ///< the paper's row label
+  graph::Graph g;
+  spf::Metric metric = spf::Metric::Weighted;
+  std::size_t samples = 40;  ///< the paper's sample count for this network
+};
+
+/// Builds the four evaluation networks. `scale` shrinks the two
+/// internet-scale topologies for quick runs (1.0 = the paper's sizes).
+inline std::vector<NetworkCase> make_networks(std::uint64_t seed,
+                                              double scale) {
+  std::vector<NetworkCase> nets;
+  {
+    Rng rng(seed);
+    nets.push_back({"ISP, Weighted", topo::make_isp_like(rng, true),
+                    spf::Metric::Weighted, 200});
+  }
+  {
+    Rng rng(seed);  // same topology, hop-count routing
+    nets.push_back({"ISP, Unweighted", topo::make_isp_like(rng, true),
+                    spf::Metric::Hops, 200});
+  }
+  {
+    Rng rng(seed + 1);
+    nets.push_back({"Internet", topo::make_internet_like(rng, scale),
+                    spf::Metric::Hops, 40});
+  }
+  {
+    Rng rng(seed + 2);
+    nets.push_back({"AS Graph", topo::make_as_like(rng, scale),
+                    spf::Metric::Hops, 40});
+  }
+  return nets;
+}
+
+}  // namespace rbpc::bench

@@ -1,0 +1,100 @@
+// Extension experiment (beyond the paper's evaluation, motivated by its
+// traffic-engineering framing): how a failure shifts link load under
+// different restoration schemes.
+//
+// A gravity-model demand matrix is routed over the weighted ISP topology;
+// we fail the most loaded link and compare the surviving-network load
+// picture when the affected demands are restored by
+//   (a) RBPC            — min-cost surviving routes (concatenations), vs
+//   (b) disjoint backup — the pre-provisioned disjoint alternative.
+// Restoration-path quality translates directly into post-failure load.
+//
+// Flags: --seed N, --volume X
+#include <algorithm>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/traffic.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  using graph::EdgeId;
+  using graph::FailureMask;
+  using graph::NodeId;
+  using graph::Path;
+
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const double volume = args.get_double("volume", 10000.0);
+
+  Rng rng(seed);
+  const graph::Graph g = topo::make_isp_like(rng, /*weighted=*/true);
+  std::cout << "topology: " << g.summary() << "\n";
+
+  Rng demand_rng(seed * 1000 + 53);
+  const core::DemandMatrix demands =
+      core::DemandMatrix::gravity(g.num_nodes(), volume, demand_rng);
+  std::cout << "demand: gravity model, total volume "
+            << TablePrinter::num(demands.total(), 0) << "\n\n";
+
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+
+  // Baseline load: canonical shortest-path routing.
+  const core::LinkLoads before = core::route_demands(
+      g, demands,
+      [&](NodeId s, NodeId t) { return oracle.canonical_path(s, t); });
+
+  // Fail the most loaded link.
+  const EdgeId failed = static_cast<EdgeId>(
+      std::max_element(before.load.begin(), before.load.end()) -
+      before.load.begin());
+  const auto& fe = g.edge(failed);
+  std::cout << "failing the most loaded link (" << fe.u << "," << fe.v
+            << "), carrying " << TablePrinter::num(before.load[failed], 0)
+            << " units\n\n";
+  FailureMask mask;
+  mask.fail_edge(failed);
+
+  // (a) RBPC: every affected demand follows the min-cost surviving route.
+  spf::DistanceOracle failed_oracle(g, mask, spf::Metric::Weighted);
+  const core::LinkLoads rbpc = core::route_demands(
+      g, demands,
+      [&](NodeId s, NodeId t) { return failed_oracle.canonical_path(s, t); });
+
+  // (b) Disjoint-backup: unaffected demands keep their primary; affected
+  // ones jump to the pre-provisioned disjoint backup (possibly much longer).
+  core::DisjointBackupScheme disjoint(g, spf::Metric::Weighted);
+  const core::LinkLoads base = core::route_demands(
+      g, demands,
+      [&](NodeId s, NodeId t) { return disjoint.restore(s, t, mask).route; });
+
+  auto row = [&](const char* name, const core::LinkLoads& l) {
+    return std::vector<std::string>{
+        name, TablePrinter::num(l.max_load(), 0),
+        TablePrinter::num(l.mean_load(), 1),
+        std::to_string(l.links_above(before.max_load())),
+        TablePrinter::num(l.unrouted, 1)};
+  };
+  TablePrinter table({"scenario", "max link load", "mean link load",
+                      "links above pre-failure max", "unrouted demand"});
+  table.add_row(row("before failure (shortest paths)", before));
+  table.add_row(row("after failure, RBPC restoration", rbpc));
+  table.add_row(row("after failure, disjoint-backup restoration", base));
+  std::cout << table.to_text();
+
+  std::cout << "\nmean link load == total carried volume / links: RBPC's "
+               "min-cost restoration keeps\nthe total resource consumption "
+               "minimal (its mean rises least), while the\nquality-"
+               "compromised baseline drags demand over longer detours and "
+               "consumes more\naggregate capacity — the TE face of the "
+               "paper's 'restore without compromising\nquality' argument. "
+               "(Peak load depends on where detours overlap and can fall "
+               "either\nway for a single failure; the systematic cost is "
+               "the aggregate.)\n";
+  return 0;
+}

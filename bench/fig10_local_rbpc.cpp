@@ -1,0 +1,69 @@
+// Reproduces Figure 10: histograms of the cost and hopcount stretch of
+// end-route and edge-bypass local RBPC, relative to the source-routed
+// min-cost restoration path, on the weighted ISP topology.
+//
+// The paper's qualitative finding: the vast majority of local restorations
+// have stretch ~1 (the first histogram bar dominates), with a small tail;
+// hopcount stretch can dip below 1.
+//
+// Flags: --seed N, --samples N
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string bar(double fraction, std::size_t width = 40) {
+  const std::size_t n =
+      static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  return std::string(n, '#');
+}
+
+void print_histogram(const char* title, const rbpc::BinnedHistogram& h) {
+  std::cout << title << " (" << h.total() << " cases)\n";
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    if (h.bin_count(b) == 0) continue;
+    std::printf("  %-14s %6.2f%%  %s\n", h.bin_label(b).c_str(),
+                h.bin_fraction(b) * 100.0, bar(h.bin_fraction(b)).c_str());
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+
+  Rng topo_rng(seed);
+  const graph::Graph g = topo::make_isp_like(topo_rng, /*weighted=*/true);
+
+  core::Fig10Config cfg;
+  cfg.samples = args.get_uint("samples", 200);  // the paper's ISP sampling
+  cfg.seed = seed * 1000 + 23;
+  const core::Fig10Result res = core::run_fig10(g, cfg);
+
+  std::cout << "Figure 10: local RBPC restoration overhead on the weighted "
+               "ISP topology.\n"
+            << "Stretch = (restoration path) / (source-routed min-cost "
+               "restoration path).\n"
+            << "cases=" << res.cases << " skipped=" << res.skipped << "\n\n";
+
+  print_histogram("Cost stretch, end-route local RBPC", res.end_route_cost);
+  print_histogram("Cost stretch, edge-bypass local RBPC",
+                  res.edge_bypass_cost);
+  print_histogram("Hopcount stretch, end-route local RBPC",
+                  res.end_route_hops);
+  print_histogram("Hopcount stretch, edge-bypass local RBPC",
+                  res.edge_bypass_hops);
+
+  std::cout << "paper: the leftmost (stretch ~1.0) bar dominates all four "
+               "histograms;\nhopcount stretch < 1 occurs in a few cases "
+               "where the min-cost path has\nhigher hopcount than the local "
+               "restoration.\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark): the operations on RBPC's fast path.
+//
+// These are engineering evidence, not a paper artifact: they quantify the
+// claim that restoration is cheap (FEC rewrite + label push) compared to
+// re-provisioning, and measure the substrate primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/base_set.hpp"
+#include "core/controller.hpp"
+#include "core/decompose.hpp"
+#include "core/restoration.hpp"
+#include "graph/failure.hpp"
+#include "spf/bypass.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rbpc;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+
+const Graph& isp_graph() {
+  static const Graph g = [] {
+    Rng rng(1);
+    return topo::make_isp_like(rng, true);
+  }();
+  return g;
+}
+
+const Graph& as_graph() {
+  static const Graph g = [] {
+    Rng rng(2);
+    return topo::make_as_like(rng, 1.0);
+  }();
+  return g;
+}
+
+void BM_DijkstraIsp(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  Rng rng(3);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    benchmark::DoNotOptimize(spf::shortest_tree(g, s));
+  }
+}
+BENCHMARK(BM_DijkstraIsp);
+
+void BM_DijkstraAsGraph(benchmark::State& state) {
+  const Graph& g = as_graph();
+  Rng rng(4);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    benchmark::DoNotOptimize(
+        spf::shortest_tree(g, s, FailureMask::none(),
+                           spf::SpfOptions{.metric = spf::Metric::Hops}));
+  }
+}
+BENCHMARK(BM_DijkstraAsGraph);
+
+void BM_PaddedDijkstraIsp(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  Rng rng(5);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    benchmark::DoNotOptimize(spf::shortest_tree(
+        g, s, FailureMask::none(), spf::SpfOptions{.padded = true}));
+  }
+}
+BENCHMARK(BM_PaddedDijkstraIsp);
+
+void BM_SourceRbpcRestore(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  core::AllPairsShortestBaseSet base(oracle);
+  Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const graph::Path lsp = oracle.canonical_path(s, t);
+    if (s == t || lsp.hops() < 1) {
+      state.ResumeTiming();
+      continue;
+    }
+    FailureMask mask;
+    mask.fail_edge(lsp.edge(rng.below(lsp.hops())));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core::source_rbpc_restore(base, s, t, mask));
+  }
+}
+BENCHMARK(BM_SourceRbpcRestore);
+
+void BM_GreedyDecompose(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  core::AllPairsShortestBaseSet base(oracle);
+  // A fixed long restoration route.
+  Rng rng(7);
+  graph::Path backup;
+  while (backup.hops() < 4) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const graph::Path lsp = oracle.canonical_path(s, t);
+    if (lsp.hops() < 4) continue;
+    FailureMask mask;
+    mask.fail_edge(lsp.edge(1));
+    backup = spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_decompose(base, backup));
+  }
+}
+BENCHMARK(BM_GreedyDecompose);
+
+void BM_MplsForwarding(benchmark::State& state) {
+  // Forwarding throughput through provisioned label tables on a ring.
+  static const Graph g = topo::make_ring(64);
+  static core::RbpcController* ctl = [] {
+    auto* c = new core::RbpcController(g, spf::Metric::Hops);
+    c->provision();
+    return c;
+  }();
+  Rng rng(8);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    benchmark::DoNotOptimize(ctl->send(s, t));
+  }
+}
+BENCHMARK(BM_MplsForwarding);
+
+void BM_FecUpdateOnLinkFailure(benchmark::State& state) {
+  // The control-plane cost RBPC pays per failure event: recompute FEC
+  // chains for affected pairs (no ILM churn, no signalling).
+  static const Graph g = [] {
+    Rng rng(9);
+    return topo::make_isp_like(rng, true);
+  }();
+  static core::RbpcController* ctl = [] {
+    auto* c = new core::RbpcController(g, spf::Metric::Weighted);
+    c->provision();
+    return c;
+  }();
+  Rng rng(10);
+  for (auto _ : state) {
+    const auto e = static_cast<graph::EdgeId>(rng.below(g.num_edges()));
+    ctl->fail_link(e);
+    ctl->recover_link(e);
+  }
+}
+BENCHMARK(BM_FecUpdateOnLinkFailure);
+
+void BM_MinCostBypass(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto e = static_cast<graph::EdgeId>(rng.below(g.num_edges()));
+    benchmark::DoNotOptimize(spf::min_cost_bypass(g, e));
+  }
+}
+BENCHMARK(BM_MinCostBypass);
+
+}  // namespace
+
+// main() comes from benchmark::benchmark_main.

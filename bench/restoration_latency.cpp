@@ -1,0 +1,110 @@
+// Restoration latency: RBPC vs tear-down/re-signal (the paper's opening
+// motivation: re-establishing LSPs "can introduce considerable overhead and
+// delay").
+//
+// For sampled single-link failures on the weighted ISP topology, measures
+// when service resumes under each scheme (simulation time units; 1.0 = one
+// link traversal):
+//
+//   local RBPC     — adjacent router splices its ILM at detection time
+//   source RBPC    — source rewrites its FEC entry when the link-state
+//                    flood reaches it (no signalling)
+//   LDP re-signal  — source learns via the same flood, then must signal a
+//                    brand-new LSP end-to-end (request + mapping legs)
+//
+// Flags: --seed N, --samples N, --link-delay X, --process-delay X
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "lsdb/lsdb.hpp"
+#include "mpls/ldp.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  using graph::FailureMask;
+  using graph::Path;
+
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t samples = args.get_uint("samples", 150);
+
+  lsdb::FloodParams flood;
+  flood.link_delay = args.get_double("link-delay", 1.0);
+  flood.process_delay = args.get_double("process-delay", 0.2);
+  flood.detect_delay = 0.05;
+  mpls::LdpParams ldp;
+  ldp.link_delay = flood.link_delay;
+  ldp.process_delay = flood.process_delay;
+
+  Rng topo_rng(seed);
+  const graph::Graph g = topo::make_isp_like(topo_rng, /*weighted=*/true);
+  std::cout << "topology: " << g.summary() << "\n"
+            << "delays: link=" << flood.link_delay
+            << " process=" << flood.process_delay
+            << " detect=" << flood.detect_delay << "\n\n";
+
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  QuantileSketch local_lat;
+  QuantileSketch source_lat;
+  QuantileSketch ldp_lat;
+  StatAccumulator flood_hops;
+
+  Rng rng(seed * 1000 + 37);
+  for (std::size_t i = 0; i < samples; ++i) {
+    Rng sample_rng = rng.fork();
+    const core::SamplePair pair = core::sample_pair(oracle, sample_rng);
+    for (const auto& sc : core::scenarios_for(
+             pair, core::FailureClass::OneLink, sample_rng)) {
+      const graph::EdgeId failed = sc.failed_edges[0];
+      const Path backup =
+          spf::shortest_path(g, pair.src, pair.dst, sc.mask,
+                             spf::SpfOptions{.metric = spf::Metric::Weighted,
+                                             .padded = true});
+      if (backup.empty()) continue;
+
+      // Local RBPC: service resumes at detection (the splice is a local
+      // table write).
+      local_lat.add(flood.detect_delay);
+
+      // Source RBPC: service resumes when the flood reaches the source.
+      const auto notify =
+          lsdb::flood_notification_times(g, sc.mask, failed, 0.0, flood);
+      const double at_source = notify.notified_at[pair.src];
+      source_lat.add(at_source);
+
+      // Tear-down/re-signal: flood to source + LDP signalling of the new
+      // LSP end to end.
+      ldp_lat.add(mpls::resignal_restoration_time(at_source, backup, ldp));
+    }
+  }
+
+  auto quant = [](const QuantileSketch& q, double p) {
+    return TablePrinter::num(q.quantile(p), 2);
+  };
+  TablePrinter table(
+      {"scheme", "median", "p90", "worst", "signalling", "optimal route?"});
+  table.add_row({"local RBPC (splice)", quant(local_lat, 0.5),
+                 quant(local_lat, 0.9), quant(local_lat, 1.0), "none",
+                 "no (interim stretch)"});
+  table.add_row({"source RBPC (FEC rewrite)", quant(source_lat, 0.5),
+                 quant(source_lat, 0.9), quant(source_lat, 1.0),
+                 "none (flood only)", "yes"});
+  table.add_row({"LDP tear-down/re-signal", quant(ldp_lat, 0.5),
+                 quant(ldp_lat, 0.9), quant(ldp_lat, 1.0),
+                 "per-hop request+mapping", "yes"});
+  std::cout << table.to_text();
+
+  std::cout << "\ncases=" << local_lat.count()
+            << ". RBPC's source restoration completes as soon as the "
+               "topology flood arrives;\nre-signalling adds two full "
+               "end-to-end passes over the new path on top of the\nsame "
+               "flood — and the hybrid hides even the flood behind the "
+               "instant local splice.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 1: the evaluation topologies and their aggregate stats.
+//
+// Paper values (Table 1):
+//   ISP       ~200 nodes   ~400 links    avg deg 3.56
+//   Internet  40,377       101,659       5.035
+//   AS Graph  4,746        9,878         4.16
+//
+// Flags: --seed N, --scale X (shrinks the two internet-scale topologies).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "spf/spf.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const double scale = args.get_double("scale", 1.0);
+
+  std::cout << "Table 1: networks used (synthetic stand-ins; see DESIGN.md)\n";
+  std::cout << "paper:   ISP ~200/~400/3.56  Internet 40377/101659/5.035  "
+               "AS 4746/9878/4.16\n\n";
+
+  TablePrinter table({"name", "nodes", "links", "avg.deg.", "2-edge-conn",
+                      "bridges", "max deg", "clustering", "tri-edges",
+                      "~diameter"});
+  for (const auto& net : bench::make_networks(seed, scale)) {
+    if (net.metric == spf::Metric::Hops && net.name == "ISP, Unweighted") {
+      continue;  // same topology as the weighted row
+    }
+    const auto stats = graph::degree_stats(net.g);
+    const auto bridges = graph::find_bridges(net.g);
+    table.add_row({net.name, std::to_string(net.g.num_nodes()),
+                   std::to_string(net.g.num_edges()),
+                   TablePrinter::num(net.g.average_degree(), 3),
+                   graph::is_two_edge_connected(net.g) ? "yes" : "no",
+                   std::to_string(bridges.size()), std::to_string(stats.max),
+                   TablePrinter::num(
+                       graph::global_clustering_coefficient(net.g), 3),
+                   TablePrinter::percent(
+                       graph::triangle_edge_fraction(net.g)),
+                   std::to_string(spf::approx_hop_diameter(net.g))});
+  }
+  std::cout << table.to_text() << '\n';
+  return 0;
+}

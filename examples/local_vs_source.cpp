@@ -1,0 +1,105 @@
+// Hybrid restoration timeline: local RBPC patches instantly (possibly on a
+// stretched route); source RBPC re-optimizes once the link-state flood
+// reaches the source. This example plays the sequence through the
+// discrete-event queue and the real MPLS tables.
+//
+// Flags: --seed N, --link-delay X, --detect-delay X
+#include <cstdio>
+#include <iostream>
+
+#include "core/controller.hpp"
+#include "core/hybrid.hpp"
+#include "lsdb/event_queue.hpp"
+#include "lsdb/lsdb.hpp"
+#include "spf/oracle.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 3);
+  lsdb::FloodParams flood;
+  flood.link_delay = args.get_double("link-delay", 1.0);
+  flood.detect_delay = args.get_double("detect-delay", 0.05);
+  flood.process_delay = 0.1;
+
+  Rng rng(seed);
+  const graph::Graph g = topo::make_isp_like(rng, /*weighted=*/true);
+  std::cout << "topology: " << g.summary() << "\n\n";
+
+  // Pick a pair whose LSP is long enough that the source sits several flood
+  // hops from the failure.
+  spf::DistanceOracle oracle(g, graph::FailureMask{}, spf::Metric::Weighted);
+  graph::Path lsp;
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  while (lsp.hops() < 5) {
+    src = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+    dst = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+    if (src == dst) continue;
+    lsp = oracle.canonical_path(src, dst);
+  }
+  const std::size_t fail_idx = lsp.hops() - 1;  // fail the far-end link
+  std::cout << "LSP " << src << " -> " << dst << ": " << lsp.to_string()
+            << "\nfailing its link #" << fail_idx
+            << " (the farthest from the source)\n\n";
+
+  // Graph-level timeline (what each scheme would route).
+  const core::HybridTimeline tl = core::hybrid_timeline(
+      g, spf::Metric::Weighted, lsp, fail_idx, /*t0=*/0.0, flood,
+      /*use_edge_bypass=*/true);
+  if (!tl.restored) {
+    std::cout << "failure disconnected the pair; nothing to restore\n";
+    return 0;
+  }
+
+  std::printf("t=%-8.2f link fails; traffic on the LSP is blackholed\n",
+              tl.fail_time);
+  std::printf(
+      "t=%-8.2f adjacent router detects, splices its ILM entry "
+      "(edge-bypass)\n           interim route: %s\n           interim "
+      "stretch: %.3fx optimal\n",
+      tl.local_patch_time, tl.local_route.to_string().c_str(),
+      tl.interim_stretch);
+  std::printf(
+      "t=%-8.2f LSA flood reaches the source; FEC entry rewritten to the "
+      "min-cost\n           concatenation: %s\n",
+      tl.source_patch_time, tl.final_route.to_string().c_str());
+
+  // Replay through the MPLS tables: fail, local patch only, then source
+  // reroute, verifying the data plane at each stage.
+  std::cout << "\nreplaying through the label tables:\n";
+  core::RbpcController ctl(g, spf::Metric::Weighted);
+  ctl.provision();
+
+  auto report = [&](const char* stage) {
+    const mpls::ForwardResult r = ctl.send(src, dst);
+    std::cout << "  " << stage << ": " << to_string(r.status);
+    if (r.delivered()) std::cout << " in " << r.hops << " hops";
+    std::cout << "\n";
+  };
+
+  report("before failure                    ");
+  // Stage 1: data plane down, control plane not yet reacted. Emulate by
+  // failing only the forwarding state.
+  ctl.network().set_failures(graph::FailureMask::of_edges({lsp.edge(fail_idx)}));
+  report("failed, no restoration yet        ");
+  ctl.network().set_failures({});
+  // Stage 2: full event — source RBPC plus a local patch.
+  ctl.fail_link(lsp.edge(fail_idx));
+  ctl.local_patch(lsp.edge(fail_idx),
+                  core::RbpcController::LocalMode::EdgeBypass);
+  report("after local patch + source reroute");
+  ctl.recover_link(lsp.edge(fail_idx));
+  report("after recovery                    ");
+
+  std::cout << "\nThe window where traffic is lost is only "
+               "[fail, local-patch) = "
+            << (tl.local_patch_time - tl.fail_time)
+            << " time units — the flood delay ("
+            << (tl.source_patch_time - tl.fail_time)
+            << ") is hidden behind the local splice.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Multi-failure storm: Theorems 1 and 2 as live dashboards.
+//
+// Fails k = 1..K random links on a mesh and tracks, for sampled pairs, how
+// many base-LSP concatenations the restoration needs — against the
+// theoretical ceilings (k+1 unweighted, 2k+1 weighted).
+//
+// Flags: --seed N, --max-k N, --pairs N, --nodes N, --edges N, --weighted B
+#include <iostream>
+
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "graph/analysis.hpp"
+#include "spf/oracle.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t max_k = args.get_uint("max-k", 6);
+  const std::size_t pairs = args.get_uint("pairs", 150);
+  const std::size_t nodes = args.get_uint("nodes", 60);
+  const std::size_t edges = args.get_uint("edges", 140);
+  const bool weighted = args.get_bool("weighted", true);
+
+  Rng rng(seed);
+  const graph::Graph g =
+      topo::make_random_connected(nodes, edges, rng, weighted ? 20 : 1);
+  const auto metric = weighted ? spf::Metric::Weighted : spf::Metric::Hops;
+  std::cout << "mesh: " << g.summary() << " ("
+            << (weighted ? "weighted" : "unweighted") << ")\n\n";
+
+  spf::DistanceOracle oracle(g, graph::FailureMask{}, metric);
+  core::AllPairsShortestBaseSet base(oracle);
+
+  TablePrinter table({"k failed links", "restored", "disconnected",
+                      "avg PC length", "worst PC", "theory bound",
+                      "within bound"});
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    StatAccumulator pc;
+    std::size_t worst = 0;
+    std::size_t disconnected = 0;
+    bool all_within = true;
+    const std::size_t bound = weighted ? 2 * k + 1 : k + 1;
+
+    Rng storm_rng(seed * 100 + k);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      graph::FailureMask mask;
+      for (auto e : storm_rng.sample_distinct(g.num_edges(), k)) {
+        mask.fail_edge(static_cast<graph::EdgeId>(e));
+      }
+      const auto s = static_cast<graph::NodeId>(storm_rng.below(nodes));
+      const auto t = static_cast<graph::NodeId>(storm_rng.below(nodes));
+      if (s == t) continue;
+      // Only pairs actually disrupted by the storm are interesting (the
+      // paper's methodology fails links on the pair's own LSP).
+      if (oracle.canonical_path(s, t).alive(g, mask)) continue;
+      const core::Restoration r = core::source_rbpc_restore(base, s, t, mask);
+      if (!r.restored()) {
+        ++disconnected;
+        continue;
+      }
+      pc.add(static_cast<double>(r.pc_length()));
+      worst = std::max(worst, r.pc_length());
+      if (r.pc_length() > bound) all_within = false;
+    }
+    table.add_row({std::to_string(k), std::to_string(pc.count()),
+                   std::to_string(disconnected),
+                   pc.empty() ? "-" : TablePrinter::num(pc.mean(), 2),
+                   std::to_string(worst), std::to_string(bound),
+                   all_within ? "yes" : "VIOLATED"});
+  }
+  std::cout << table.to_text() << "\n";
+  std::cout << "Theorem " << (weighted ? "2" : "1")
+            << ": restoration after k failures needs at most "
+            << (weighted ? "k+1 base paths + k edges (2k+1 components)"
+                         : "k+1 base paths")
+            << ".\nIn practice the average stays near 2 — the paper's core "
+               "empirical finding.\n";
+  return 0;
+}

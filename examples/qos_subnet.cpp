@@ -1,0 +1,174 @@
+// QoS route families over subnets (the paper's Section-1 motivation):
+//
+//   "Leading designs of QoS routing and traffic engineering in MPLS clouds
+//    suggest employing shortest path routing over subnets of the original
+//    network. Such restrictions might be ... all the OC48 links, all the
+//    links with available capacity ... That is, different families of
+//    shortest paths are maintained in the network; traditional shortest
+//    paths, and shortest paths over different restrictions of the network."
+//
+// This example maintains three shortest-path families on the ISP topology —
+// the full network, the "premium" subnet (backbone-grade links only), and a
+// "low-latency" subnet (cheapest-weight links) — and shows that RBPC
+// restores each family within its own subnet after a failure: the
+// restriction is just another FailureMask layered under the failure.
+//
+// Flags: --seed N
+#include <iostream>
+
+#include <memory>
+
+#include "graph/analysis.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+/// A named restriction of the network: the family's subnet is everything
+/// the restriction does not exclude.
+struct Family {
+  std::string name;
+  FailureMask restriction;  ///< excluded links (a "virtual failure" layer)
+};
+
+FailureMask exclude_links_heavier_than(const Graph& g, graph::Weight cutoff) {
+  FailureMask m;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.weight(e) > cutoff) m.fail_edge(e);
+  }
+  return m;
+}
+
+FailureMask combine(const FailureMask& a, const FailureMask& b) {
+  FailureMask m = a;
+  for (EdgeId e : b.failed_edges()) m.fail_edge(e);
+  for (NodeId v : b.failed_nodes()) m.fail_node(v);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+
+  Rng rng(seed);
+  const Graph g = topo::make_isp_like(rng, /*weighted=*/true);
+  std::cout << "topology: " << g.summary() << "\n\n";
+
+  std::vector<Family> families;
+  families.push_back({"best-effort (all links)", FailureMask{}});
+  families.push_back(
+      {"premium (weight <= 40: backbone + uplinks)",
+       exclude_links_heavier_than(g, 40)});
+  families.push_back(
+      {"low-latency (weight <= 20: backbone grade)",
+       exclude_links_heavier_than(g, 20)});
+
+  // Each family routes over its own subnet: the restriction mask lives
+  // inside the family's oracle, so "shortest path" means shortest within
+  // the subnet.
+  std::vector<std::unique_ptr<spf::DistanceOracle>> oracles;
+  for (const Family& fam : families) {
+    oracles.push_back(std::make_unique<spf::DistanceOracle>(
+        g, fam.restriction, spf::Metric::Weighted));
+  }
+
+  // Pick a backbone pair present in every subnet.
+  const NodeId s = 0;
+  const NodeId t = 12;
+
+  TablePrinter before({"family", "route", "cost", "subnet links"});
+  std::vector<Path> primaries;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const Path p = oracles[f]->canonical_path(s, t);
+    primaries.push_back(p);
+    std::size_t alive = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (families[f].restriction.edge_alive(g, e)) ++alive;
+    }
+    before.add_row({families[f].name,
+                    p.empty() ? "(unreachable)" : p.to_string(),
+                    p.empty() ? "-" : std::to_string(p.cost(g)),
+                    std::to_string(alive)});
+  }
+  std::cout << "Families for " << s << " -> " << t << ":\n"
+            << before.to_text() << '\n';
+
+  // Fail a link used by all families (a backbone link on the premium path).
+  EdgeId failed = graph::kInvalidEdge;
+  for (EdgeId e : primaries[2].edges()) {
+    if (primaries[0].uses_edge(e)) {
+      failed = e;
+      break;
+    }
+  }
+  if (failed == graph::kInvalidEdge) failed = primaries[2].edge(0);
+  const auto& fe = g.edge(failed);
+  std::cout << "*** link (" << fe.u << "," << fe.v << ") w=" << fe.weight
+            << " fails ***\n\n";
+
+  TablePrinter after({"family", "restored route", "cost", "PC length",
+                      "stays in subnet"});
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const Family& fam = families[f];
+    FailureMask scenario;
+    scenario.fail_edge(failed);
+
+    // The family's base set lives on its (unfailed) subnet; restoration
+    // runs on subnet + failure.
+    spf::DistanceOracle base_oracle(g, fam.restriction, spf::Metric::Weighted);
+    // Adapt: CanonicalBaseSet requires an empty mask (base sets are defined
+    // on the unfailed network); for a restricted family the subnet IS its
+    // network, so decompose manually against the subnet oracle.
+    const FailureMask effective = combine(fam.restriction, scenario);
+    const Path backup =
+        spf::shortest_path(g, s, t, effective,
+                           spf::SpfOptions{.metric = spf::Metric::Weighted,
+                                           .padded = true});
+    if (backup.empty()) {
+      after.add_row({fam.name, "(unreachable in subnet)", "-", "-", "-"});
+      continue;
+    }
+    // Greedy longest-prefix against "is canonical in the subnet".
+    std::size_t pieces = 0;
+    std::size_t pos = 0;
+    const std::size_t last = backup.num_nodes() - 1;
+    bool in_subnet = true;
+    while (pos < last) {
+      std::size_t best = pos + 1;
+      for (std::size_t j = last; j > pos; --j) {
+        const Path seg = backup.subpath(pos, j);
+        if (base_oracle.is_canonical(seg)) {
+          best = j;
+          break;
+        }
+      }
+      ++pieces;
+      pos = best;
+    }
+    for (EdgeId e : backup.edges()) {
+      if (fam.restriction.edge_failed(e)) in_subnet = false;
+    }
+    after.add_row({fam.name, backup.to_string(),
+                   std::to_string(backup.cost(g)), std::to_string(pieces),
+                   in_subnet ? "yes" : "NO"});
+  }
+  std::cout << after.to_text();
+  std::cout << "\nEach family restores inside its own subnet by "
+               "concatenating ITS base paths —\nthe restriction composes "
+               "with the failure as one FailureMask (the mechanism the\n"
+               "paper's QoS-routing motivation needs).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Topology workbench: generate any of the library's topologies, print its
+// statistics, and export it as an rbpc-graph file and/or Graphviz DOT
+// (optionally highlighting a restoration scenario).
+//
+// Usage:
+//   topogen --kind isp|as|internet|waxman|random|ring|grid [--seed N]
+//           [--scale X] [--nodes N] [--edges M]
+//           [--out graph.txt] [--dot graph.dot]
+//           [--fail-edge E] [--route s,t]
+#include <fstream>
+#include <iostream>
+
+#include "graph/analysis.hpp"
+#include "graph/dot.hpp"
+#include "graph/io.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+
+graph::Graph make(const CliArgs& args, Rng& rng) {
+  const std::string kind = args.get_string("kind", "isp");
+  const double scale = args.get_double("scale", 1.0);
+  const std::size_t nodes = args.get_uint("nodes", 50);
+  const std::size_t edges = args.get_uint("edges", 120);
+  if (kind == "isp") return topo::make_isp_like(rng);
+  if (kind == "as") return topo::make_as_like(rng, scale);
+  if (kind == "internet") return topo::make_internet_like(rng, scale);
+  if (kind == "waxman") return topo::make_waxman(nodes, 0.6, 0.25, rng);
+  if (kind == "random") return topo::make_random_connected(nodes, edges, rng, 10);
+  if (kind == "ring") return topo::make_ring(nodes);
+  if (kind == "grid") return topo::make_grid(nodes, nodes);
+  throw InputError("unknown --kind '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    Rng rng(args.get_uint("seed", 1));
+    const graph::Graph g = make(args, rng);
+
+    const auto deg = graph::degree_stats(g);
+    TablePrinter stats({"metric", "value"});
+    stats.add_row({"nodes", std::to_string(g.num_nodes())});
+    stats.add_row({"links", std::to_string(g.num_edges())});
+    stats.add_row({"avg degree", TablePrinter::num(g.average_degree(), 3)});
+    stats.add_row({"min/max degree",
+                   std::to_string(deg.min) + " / " + std::to_string(deg.max)});
+    stats.add_row({"connected", graph::is_connected(g) ? "yes" : "no"});
+    stats.add_row(
+        {"bridges", std::to_string(graph::find_bridges(g).size())});
+    stats.add_row({"clustering",
+                   TablePrinter::num(graph::global_clustering_coefficient(g), 3)});
+    stats.add_row({"2-hop-bypassable links",
+                   TablePrinter::percent(graph::triangle_edge_fraction(g))});
+    std::cout << stats.to_text();
+
+    graph::DotOptions dot_opts;
+    if (args.has("fail-edge")) {
+      dot_opts.failures.fail_edge(
+          static_cast<graph::EdgeId>(args.get_uint("fail-edge", 0)));
+    }
+    if (args.has("route")) {
+      const std::string route = args.get_string("route", "");
+      const auto comma = route.find(',');
+      if (comma == std::string::npos) {
+        throw InputError("--route expects 's,t'");
+      }
+      const auto s = static_cast<graph::NodeId>(std::stoul(route));
+      const auto t =
+          static_cast<graph::NodeId>(std::stoul(route.substr(comma + 1)));
+      dot_opts.highlight = spf::shortest_path(
+          g, s, t, dot_opts.failures, spf::SpfOptions{.padded = true});
+      std::cout << "\nroute " << s << " -> " << t << ": "
+                << dot_opts.highlight.to_string() << "\n";
+    }
+
+    if (args.has("out")) {
+      const std::string path = args.get_string("out", "");
+      graph::save_graph_file(path, g);
+      std::cout << "\nwrote " << path << " (rbpc-graph format)\n";
+    }
+    if (args.has("dot")) {
+      const std::string path = args.get_string("dot", "");
+      std::ofstream os(path);
+      if (!os) throw InputError("cannot open " + path);
+      graph::write_dot(os, g, dot_opts);
+      std::cout << "wrote " << path << " (Graphviz)\n";
+    }
+    return 0;
+  } catch (const Error& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// The technology trade-off of Section 1: restoration by concatenation pays
+// a per-junction cost (nothing in MPLS thanks to the stack; an O-E-O hop
+// with a layer-3 lookup in WDM; a VC lookup in ATM) but saves the full
+// setup/tear-down of new connections. This example measures the actual
+// junction counts RBPC produces on the ISP topology and weighs them under
+// each technology's cost model.
+//
+//   "The higher the [setup/tear-down] cost and the lower the
+//    [concatenation cost], the more attractive our scheme."
+//
+// Flags: --seed N, --samples N
+#include <iostream>
+
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "core/scenario.hpp"
+#include "spf/oracle.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+
+/// Per-technology cost model, in arbitrary "operation" units.
+struct Technology {
+  const char* name;
+  double junction_cost;  ///< per concatenation point on the restored path
+  double setup_cost;     ///< establish + tear down one end-to-end connection
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t samples = args.get_uint("samples", 150);
+
+  Rng topo_rng(seed);
+  const graph::Graph g = topo::make_isp_like(topo_rng, /*weighted=*/true);
+  std::cout << "topology: " << g.summary() << "\n\n";
+
+  spf::DistanceOracle oracle(g, graph::FailureMask{}, spf::Metric::Weighted);
+  core::CanonicalBaseSet base(oracle);
+
+  IntHistogram junctions;
+  StatAccumulator pieces;
+  Rng rng(seed * 1000 + 41);
+  for (std::size_t i = 0; i < samples; ++i) {
+    Rng sample_rng = rng.fork();
+    const core::SamplePair pair = core::sample_pair(oracle, sample_rng);
+    for (const auto& sc : core::scenarios_for(
+             pair, core::FailureClass::OneLink, sample_rng)) {
+      const core::Restoration r =
+          core::source_rbpc_restore(base, pair.src, pair.dst, sc.mask);
+      if (!r.restored()) continue;
+      pieces.add(static_cast<double>(r.pc_length()));
+      junctions.add(static_cast<std::int64_t>(r.pc_length()) - 1);
+    }
+  }
+
+  std::cout << "Junctions per restoration (pieces - 1), " << junctions.total()
+            << " cases:\n";
+  TablePrinter hist({"junctions", "share"});
+  for (const auto& [k, count] : junctions.bins()) {
+    hist.add_row({std::to_string(k),
+                  TablePrinter::percent(junctions.fraction(k))});
+  }
+  std::cout << hist.to_text() << '\n';
+
+  // Cost models: MPLS junctions are label pushes (~free); WDM junctions
+  // surface to layer 3 (lookup + O-E-O); ATM junctions are a VC lookup.
+  // Setup costs reflect signalling + cross-connect programming effort.
+  const Technology techs[] = {
+      {"MPLS (label stack)", 0.0, 50.0},
+      {"WDM (O-E-O at junctions)", 10.0, 500.0},
+      {"ATM (VC lookup at junctions)", 2.0, 40.0},
+  };
+  const double avg_junctions = pieces.mean() - 1.0;
+
+  std::cout << "Per-restoration cost: concatenate (junctions x junction "
+               "cost) vs re-establish (setup):\n";
+  TablePrinter table({"technology", "concatenation cost", "re-establishment",
+                      "winner", "ratio"});
+  for (const Technology& t : techs) {
+    const double concat = avg_junctions * t.junction_cost;
+    const bool rbpc_wins = concat < t.setup_cost;
+    table.add_row({t.name, TablePrinter::num(concat, 1),
+                   TablePrinter::num(t.setup_cost, 1),
+                   rbpc_wins ? "RBPC" : "re-signal",
+                   concat == 0.0 ? "inf"
+                                 : TablePrinter::num(t.setup_cost / concat, 1) +
+                                       "x"});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nWith ~" << TablePrinter::num(avg_junctions, 2)
+            << " junctions per restoration, concatenation wins by orders of "
+               "magnitude in MPLS\nand remains attractive in WDM (huge setup "
+               "costs); ATM is the marginal case — \nexactly the paper's "
+               "Section-1 assessment.\n";
+  return 0;
+}

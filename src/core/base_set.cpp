@@ -1,0 +1,86 @@
+#include "core/base_set.hpp"
+
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+// --- AllPairsShortestBaseSet -------------------------------------------------
+
+AllPairsShortestBaseSet::AllPairsShortestBaseSet(spf::DistanceOracle& oracle)
+    : oracle_(oracle) {
+  require(oracle.mask().empty(),
+          "AllPairsShortestBaseSet: base sets are defined on the unfailed "
+          "network; the oracle must carry no failures");
+}
+
+const graph::Graph& AllPairsShortestBaseSet::graph() const {
+  return oracle_.graph();
+}
+
+spf::Metric AllPairsShortestBaseSet::metric() const { return oracle_.metric(); }
+
+bool AllPairsShortestBaseSet::contains(const graph::Path& segment) {
+  return oracle_.is_shortest(segment);
+}
+
+graph::Path AllPairsShortestBaseSet::base_path(graph::NodeId u,
+                                               graph::NodeId v) {
+  if (u == v) return graph::Path::trivial(u);
+  return oracle_.some_shortest_path(u, v);
+}
+
+// --- CanonicalBaseSet --------------------------------------------------------
+
+CanonicalBaseSet::CanonicalBaseSet(spf::DistanceOracle& oracle)
+    : oracle_(oracle) {
+  require(oracle.mask().empty(),
+          "CanonicalBaseSet: base sets are defined on the unfailed network; "
+          "the oracle must carry no failures");
+}
+
+const graph::Graph& CanonicalBaseSet::graph() const { return oracle_.graph(); }
+
+spf::Metric CanonicalBaseSet::metric() const { return oracle_.metric(); }
+
+bool CanonicalBaseSet::contains(const graph::Path& segment) {
+  return oracle_.is_canonical(segment);
+}
+
+graph::Path CanonicalBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return graph::Path::trivial(u);
+  return oracle_.canonical_path(u, v);
+}
+
+// --- ExpandedBaseSet ---------------------------------------------------------
+
+ExpandedBaseSet::ExpandedBaseSet(spf::DistanceOracle& oracle)
+    : oracle_(oracle) {
+  require(oracle.mask().empty(),
+          "ExpandedBaseSet: base sets are defined on the unfailed network; "
+          "the oracle must carry no failures");
+}
+
+const graph::Graph& ExpandedBaseSet::graph() const { return oracle_.graph(); }
+
+spf::Metric ExpandedBaseSet::metric() const { return oracle_.metric(); }
+
+bool ExpandedBaseSet::contains(const graph::Path& segment) {
+  if (segment.empty() || segment.hops() == 0) return true;
+  if (oracle_.is_canonical(segment)) return true;
+  // Corollary 4: canonical path with one edge appended at either end. A
+  // single edge is the 0-hop canonical path plus that edge.
+  if (oracle_.is_canonical(segment.prefix_hops(segment.hops() - 1))) {
+    return true;  // canonical + trailing edge
+  }
+  if (oracle_.is_canonical(segment.suffix_from(1))) {
+    return true;  // leading edge + canonical
+  }
+  return false;
+}
+
+graph::Path ExpandedBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return graph::Path::trivial(u);
+  return oracle_.canonical_path(u, v);
+}
+
+}  // namespace rbpc::core

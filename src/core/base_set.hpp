@@ -1,0 +1,113 @@
+// Base path sets — the statically provisioned LSP families that RBPC
+// concatenates restoration paths from (paper Sections 3-4).
+//
+// Three concrete sets, matching the paper's three design points:
+//
+//  * AllPairsShortestBaseSet — every shortest path between every pair is a
+//    base path. Membership is a metric test ("does the segment's cost equal
+//    the endpoint distance"), which needs no explicit path storage and so
+//    scales to the 40k-node Internet topology. This is the set used in the
+//    paper's main experiments (Section 5), and it is subpath-closed, which
+//    makes greedy longest-prefix decomposition optimal.
+//
+//  * CanonicalBaseSet — exactly one shortest path per ordered pair, chosen
+//    by deterministic padding (Theorem 3's infinitesimally padded weights).
+//    Under padding, shortest paths are (generically) unique, so this set is
+//    also subpath-closed, but it is n(n-1) paths rather than all ties.
+//
+//  * ExpandedBaseSet — Corollary 4: the canonical set plus, for every edge,
+//    the canonical paths extended by that edge at either end. Removes the
+//    need for Theorem 2's k loose edges at the cost of a ~(1 + 2m/n) times
+//    larger set.
+//
+// All sets answer membership against the *unfailed* network: a base LSP is
+// usable for restoration iff its path survives, and subpaths of a post-
+// failure shortest path survive by construction.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+
+namespace rbpc::core {
+
+class BasePathSet {
+ public:
+  virtual ~BasePathSet() = default;
+
+  virtual const graph::Graph& graph() const = 0;
+  virtual spf::Metric metric() const = 0;
+
+  /// Is `segment` (a concrete path in the graph) a member base path?
+  /// Trivial (<= 1 node) segments are members by convention.
+  virtual bool contains(const graph::Path& segment) = 0;
+
+  /// A base path from u to v, or the empty path when the set has none
+  /// (disconnected pair). Used by provisioning and overlay decomposition.
+  virtual graph::Path base_path(graph::NodeId u, graph::NodeId v) = 0;
+
+  /// True when membership of a path's prefixes is monotone (every prefix of
+  /// a member is a member). Greedy longest-prefix decomposition may then
+  /// binary-search prefix lengths.
+  virtual bool prefix_monotone() const = 0;
+
+  /// Human-readable name for benches and logs.
+  virtual const char* name() const = 0;
+};
+
+/// The all-pairs all-shortest-paths base set (metric-oracle membership).
+class AllPairsShortestBaseSet final : public BasePathSet {
+ public:
+  /// `oracle` must be built over the unfailed network and outlive this set.
+  explicit AllPairsShortestBaseSet(spf::DistanceOracle& oracle);
+
+  const graph::Graph& graph() const override;
+  spf::Metric metric() const override;
+  bool contains(const graph::Path& segment) override;
+  graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  bool prefix_monotone() const override { return true; }
+  const char* name() const override { return "all-pairs-shortest"; }
+
+ private:
+  spf::DistanceOracle& oracle_;
+};
+
+/// Theorem-3 canonical set: one padded-unique shortest path per ordered pair.
+class CanonicalBaseSet final : public BasePathSet {
+ public:
+  explicit CanonicalBaseSet(spf::DistanceOracle& oracle);
+
+  const graph::Graph& graph() const override;
+  spf::Metric metric() const override;
+  bool contains(const graph::Path& segment) override;
+  graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  bool prefix_monotone() const override { return true; }
+  const char* name() const override { return "canonical-one-per-pair"; }
+
+ private:
+  spf::DistanceOracle& oracle_;
+};
+
+/// Corollary-4 expanded set: canonical paths plus single-edge extensions.
+class ExpandedBaseSet final : public BasePathSet {
+ public:
+  explicit ExpandedBaseSet(spf::DistanceOracle& oracle);
+
+  const graph::Graph& graph() const override;
+  spf::Metric metric() const override;
+  bool contains(const graph::Path& segment) override;
+  graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  /// Subpath-closed: a prefix of "canonical + trailing edge" is either a
+  /// canonical subpath or a shorter canonical + the same edge, and likewise
+  /// for leading extensions. Greedy may therefore binary-search prefixes.
+  bool prefix_monotone() const override { return true; }
+  const char* name() const override { return "expanded-corollary4"; }
+
+ private:
+  spf::DistanceOracle& oracle_;
+};
+
+}  // namespace rbpc::core

@@ -1,0 +1,151 @@
+#include "core/baselines.hpp"
+
+#include "spf/disjoint.hpp"
+#include "spf/spf.hpp"
+#include "spf/yen.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+namespace {
+
+std::uint64_t pair_key(const Graph& g, NodeId s, NodeId t) {
+  return static_cast<std::uint64_t>(s) * g.num_nodes() + t;
+}
+
+void account(ProvisioningCost& cost, const Path& p) {
+  if (p.empty()) return;
+  ++cost.lsps;
+  cost.ilm_entries += p.num_nodes();  // one entry per router, ingress included
+}
+
+}  // namespace
+
+// --- DisjointBackupScheme ------------------------------------------------------
+
+DisjointBackupScheme::DisjointBackupScheme(const Graph& g, spf::Metric metric,
+                                           bool node_disjoint)
+    : g_(g), metric_(metric), node_disjoint_(node_disjoint) {
+  require(!g.directed(), "DisjointBackupScheme: undirected graphs only");
+}
+
+const DisjointBackupScheme::PairState& DisjointBackupScheme::provision(
+    NodeId s, NodeId t) {
+  const std::uint64_t key = pair_key(g_, s, t);
+  auto it = pairs_.find(key);
+  if (it != pairs_.end()) return it->second;
+
+  const spf::DisjointPair dp =
+      node_disjoint_
+          ? spf::node_disjoint_pair(g_, s, t, FailureMask::none(), metric_)
+          : spf::edge_disjoint_pair(g_, s, t, FailureMask::none(), metric_);
+  PairState state;
+  // Operators deploy the true shortest path as primary and the disjoint
+  // alternative as backup; when Suurballe's pair does not contain the
+  // shortest path, recompute the backup as "disjoint from the shortest
+  // path" semantics would — the pair's two routes are still what gets
+  // provisioned, primary first.
+  state.primary = dp.primary;
+  state.backup = dp.secondary;
+  account(cost_, state.primary);
+  account(cost_, state.backup);
+  it = pairs_.emplace(key, std::move(state)).first;
+  return it->second;
+}
+
+BaselineOutcome DisjointBackupScheme::restore(NodeId s, NodeId t,
+                                              const FailureMask& mask) {
+  require(s != t, "DisjointBackupScheme::restore: endpoints must differ");
+  const PairState& state = provision(s, t);
+  BaselineOutcome out;
+  if (!state.primary.empty() && state.primary.alive(g_, mask)) {
+    out.route = state.primary;
+  } else if (!state.backup.empty() && state.backup.alive(g_, mask)) {
+    out.route = state.backup;
+  }
+  return out;
+}
+
+// --- KspBackupScheme -----------------------------------------------------------
+
+KspBackupScheme::KspBackupScheme(const Graph& g, spf::Metric metric,
+                                 std::size_t k)
+    : g_(g), metric_(metric), k_(k) {
+  require(k >= 1, "KspBackupScheme: k must be >= 1");
+}
+
+BaselineOutcome KspBackupScheme::restore(NodeId s, NodeId t,
+                                         const FailureMask& mask) {
+  require(s != t, "KspBackupScheme::restore: endpoints must differ");
+  const std::uint64_t key = pair_key(g_, s, t);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    auto paths = spf::k_shortest_paths(g_, s, t, k_, FailureMask::none(),
+                                       metric_);
+    for (const Path& p : paths) account(cost_, p);
+    it = pairs_.emplace(key, std::move(paths)).first;
+  }
+  BaselineOutcome out;
+  // Paths are already in nondecreasing cost order: first survivor wins.
+  for (const Path& p : it->second) {
+    if (p.alive(g_, mask)) {
+      out.route = p;
+      break;
+    }
+  }
+  return out;
+}
+
+// --- PerFailureBackupScheme ------------------------------------------------------
+
+PerFailureBackupScheme::PerFailureBackupScheme(const Graph& g,
+                                               spf::Metric metric)
+    : g_(g), metric_(metric), oracle_(g, FailureMask{}, metric) {}
+
+void PerFailureBackupScheme::provision(NodeId s, NodeId t) {
+  const std::uint64_t key = pair_key(g_, s, t);
+  if (pairs_.contains(key)) return;
+  auto& backups = pairs_[key];
+  const Path primary = oracle_.canonical_path(s, t);
+  account(cost_, primary);
+  for (EdgeId e : primary.edges()) {
+    FailureMask mask;
+    mask.fail_edge(e);
+    Path backup = spf::shortest_path(
+        g_, s, t, mask, spf::SpfOptions{.metric = metric_, .padded = true});
+    account(cost_, backup);
+    backups.emplace(e, std::move(backup));
+  }
+}
+
+BaselineOutcome PerFailureBackupScheme::restore(NodeId s, NodeId t,
+                                                const FailureMask& mask) {
+  require(s != t, "PerFailureBackupScheme::restore: endpoints must differ");
+  provision(s, t);
+  BaselineOutcome out;
+  const auto& backups = pairs_.at(pair_key(g_, s, t));
+
+  const Path primary = oracle_.canonical_path(s, t);
+  if (!primary.empty() && primary.alive(g_, mask)) {
+    out.route = primary;
+    return out;
+  }
+  // Exact match only for the provisioned single-failure scenarios.
+  const auto failed = mask.failed_edges();
+  if (failed.size() == 1 && mask.failed_node_count() == 0) {
+    auto it = backups.find(failed[0]);
+    if (it != backups.end() && !it->second.empty() &&
+        it->second.alive(g_, mask)) {
+      out.route = it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace rbpc::core

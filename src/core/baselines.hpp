@@ -1,0 +1,126 @@
+// Baseline restoration strategies RBPC is positioned against (paper
+// Sections 1 and 4):
+//
+//  * DisjointBackupScheme — the "small number of pre-established paths"
+//    approach (paper refs [16], [3]): per pair, pre-provision a primary
+//    plus one disjoint backup; on failure switch to whichever survives.
+//    Fast and cheap in state, but the backup is generally NOT a shortest
+//    path of the failed network — the quality compromise RBPC avoids.
+//
+//  * KspBackupScheme — pre-provision the k cheapest loopless paths per
+//    pair (paper ref [7]); on failure use the cheapest surviving one.
+//    Interpolates between the disjoint scheme (k small) and exhaustive
+//    pre-provisioning.
+//
+//  * PerFailureBackupScheme — one explicit optimal backup LSP per (pair,
+//    single-link-failure) combination: optimal restoration, but the state
+//    explosion that Table 2's ILM stretch factor quantifies, and no
+//    protection beyond the provisioned failure set.
+//
+// All schemes share one result type so the comparison bench can score
+// restoration success and quality uniformly. RBPC itself is exercised via
+// source_rbpc_restore (core/restoration.hpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+
+namespace rbpc::core {
+
+struct BaselineOutcome {
+  /// The route traffic follows after the scheme reacts; empty when the
+  /// scheme has no surviving pre-provisioned route (service stays down
+  /// until slow re-signalling).
+  graph::Path route;
+  bool restored() const { return !route.empty(); }
+};
+
+/// Common bookkeeping: how much pre-provisioned state a scheme carries.
+struct ProvisioningCost {
+  std::size_t lsps = 0;         ///< pre-provisioned LSPs
+  std::size_t ilm_entries = 0;  ///< total label-table entries (one per LSP
+                                ///< per router it traverses)
+};
+
+/// Primary + one disjoint backup per pair.
+class DisjointBackupScheme {
+ public:
+  /// `node_disjoint` selects node- over edge-disjoint backups (protects
+  /// router failures too).
+  DisjointBackupScheme(const graph::Graph& g, spf::Metric metric,
+                       bool node_disjoint = false);
+
+  /// Restoration outcome for (s, t) under `mask`. Provisioning for the
+  /// pair happens lazily on first use and is cached.
+  BaselineOutcome restore(graph::NodeId s, graph::NodeId t,
+                          const graph::FailureMask& mask);
+
+  /// State consumed by the pairs provisioned so far.
+  ProvisioningCost cost() const { return cost_; }
+
+ private:
+  const graph::Graph& g_;
+  spf::Metric metric_;
+  bool node_disjoint_;
+  struct PairState {
+    graph::Path primary;
+    graph::Path backup;
+  };
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+  ProvisioningCost cost_;
+
+  const PairState& provision(graph::NodeId s, graph::NodeId t);
+};
+
+/// k pre-provisioned cheapest loopless paths per pair.
+class KspBackupScheme {
+ public:
+  KspBackupScheme(const graph::Graph& g, spf::Metric metric, std::size_t k);
+
+  BaselineOutcome restore(graph::NodeId s, graph::NodeId t,
+                          const graph::FailureMask& mask);
+
+  ProvisioningCost cost() const { return cost_; }
+
+ private:
+  const graph::Graph& g_;
+  spf::Metric metric_;
+  std::size_t k_;
+  std::unordered_map<std::uint64_t, std::vector<graph::Path>> pairs_;
+  ProvisioningCost cost_;
+};
+
+/// One optimal backup per (pair, single-link failure on the primary).
+class PerFailureBackupScheme {
+ public:
+  PerFailureBackupScheme(const graph::Graph& g, spf::Metric metric);
+
+  /// Only single-link-failure masks match a provisioned backup; any other
+  /// mask (multi-failure, router failure) finds no pre-provisioned route —
+  /// the scheme's blind spot the paper points out.
+  BaselineOutcome restore(graph::NodeId s, graph::NodeId t,
+                          const graph::FailureMask& mask);
+
+  ProvisioningCost cost() const { return cost_; }
+
+ private:
+  const graph::Graph& g_;
+  spf::Metric metric_;
+  spf::DistanceOracle oracle_;
+  /// (pair key, failed edge) -> backup route.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<graph::EdgeId, graph::Path>>
+      pairs_;
+  ProvisioningCost cost_;
+
+  void provision(graph::NodeId s, graph::NodeId t);
+};
+
+}  // namespace rbpc::core

@@ -1,0 +1,298 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "core/restoration.hpp"
+#include "spf/bypass.hpp"
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Path;
+using mpls::Label;
+using mpls::LspId;
+
+RbpcController::RbpcController(const graph::Graph& g, spf::Metric metric)
+    : g_(g),
+      metric_(metric),
+      oracle0_(g, graph::FailureMask{}, metric),
+      base_(oracle0_),
+      net_(g) {
+  require(!g.directed(), "RbpcController: undirected networks only");
+}
+
+std::uint64_t RbpcController::pair_key(NodeId u, NodeId v) const {
+  return static_cast<std::uint64_t>(u) * g_.num_nodes() + v;
+}
+
+void RbpcController::provision() {
+  require(!provisioned_, "RbpcController::provision called twice");
+  provisioned_ = true;
+
+  // One-hop LSPs per link direction (Theorem 2's loose-edge connectors).
+  edge_lsp_.assign(g_.num_edges(), {mpls::kInvalidLsp, mpls::kInvalidLsp});
+  for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+    const graph::Edge& ed = g_.edge(e);
+    const Path fwd = Path::from_parts(g_, {ed.u, ed.v}, {e});
+    const Path bwd = Path::from_parts(g_, {ed.v, ed.u}, {e});
+    edge_lsp_[e][0] = net_.provision_lsp(fwd);
+    edge_lsp_[e][1] = net_.provision_lsp(bwd);
+    num_base_lsps_ += 2;
+  }
+
+  // Canonical base LSP + default FEC entry per ordered pair.
+  for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (u == v) continue;
+      Path path = oracle0_.canonical_path(u, v);
+      if (path.empty()) continue;
+      const LspId id = net_.provision_lsp(path);
+      ++num_base_lsps_;
+      const std::uint64_t key = pair_key(u, v);
+      pair_lsp_[key] = id;
+      net_.set_fec_chain(u, v, {id});
+      lsp_pairs_[id].insert(key);
+    }
+  }
+}
+
+LspId RbpcController::pair_lsp(NodeId u, NodeId v) const {
+  auto it = pair_lsp_.find(pair_key(u, v));
+  return it == pair_lsp_.end() ? mpls::kInvalidLsp : it->second;
+}
+
+std::vector<LspId> RbpcController::chain_for(const Decomposition& d) {
+  std::vector<LspId> chain;
+  chain.reserve(d.pieces.size());
+  for (std::size_t i = 0; i < d.pieces.size(); ++i) {
+    const Path& piece = d.pieces[i];
+    if (d.is_base[i]) {
+      const LspId id = pair_lsp(piece.source(), piece.target());
+      RBPC_ASSERT(id != mpls::kInvalidLsp);
+      // Greedy membership against the canonical set compares for equality,
+      // so the piece must be exactly the provisioned path.
+      RBPC_ASSERT(net_.lsp(id).path == piece);
+      chain.push_back(id);
+    } else {
+      RBPC_ASSERT(piece.hops() == 1);
+      const EdgeId e = piece.edge(0);
+      const int dir = piece.source() == g_.edge(e).u ? 0 : 1;
+      chain.push_back(edge_lsp_[e][static_cast<std::size_t>(dir)]);
+    }
+  }
+  return chain;
+}
+
+void RbpcController::apply_chain(NodeId u, NodeId v,
+                                 const std::vector<LspId>& chain,
+                                 bool is_default) {
+  const std::uint64_t key = pair_key(u, v);
+  // Drop the reverse index of the previous chain (dirty chain, or the
+  // default single-LSP chain; broken pairs have none).
+  std::vector<LspId> old_chain;
+  if (auto prev = dirty_pairs_.find(key); prev != dirty_pairs_.end()) {
+    old_chain = prev->second;
+  } else if (auto it = pair_lsp_.find(key);
+             it != pair_lsp_.end() && !broken_pairs_.contains(key)) {
+    old_chain = {it->second};
+  }
+  for (LspId id : old_chain) {
+    auto rit = lsp_pairs_.find(id);
+    if (rit != lsp_pairs_.end()) rit->second.erase(key);
+  }
+
+  if (chain.empty()) {
+    net_.lsr_mutable(u).clear_fec(v);
+    broken_pairs_.insert(key);
+    dirty_pairs_.erase(key);
+    return;
+  }
+  net_.set_fec_chain(u, v, chain);
+  for (LspId id : chain) lsp_pairs_[id].insert(key);
+  broken_pairs_.erase(key);
+  if (is_default) {
+    dirty_pairs_.erase(key);
+  } else {
+    dirty_pairs_[key] = chain;
+  }
+}
+
+void RbpcController::reroute_pair(NodeId u, NodeId v) {
+  const std::uint64_t key = pair_key(u, v);
+  auto lsp_it = pair_lsp_.find(key);
+  if (lsp_it == pair_lsp_.end()) return;  // never connected: nothing to do
+
+  if (!mask_.node_alive(u) || !mask_.node_alive(v)) {
+    apply_chain(u, v, {}, /*is_default=*/false);
+    return;
+  }
+  if (mask_.empty() || net_.lsp(lsp_it->second).path.alive(g_, mask_)) {
+    // Default base LSP is intact (or everything recovered): use it.
+    apply_chain(u, v, {lsp_it->second}, /*is_default=*/true);
+    return;
+  }
+  const Restoration r = source_rbpc_restore(base_, u, v, mask_);
+  if (!r.restored()) {
+    apply_chain(u, v, {}, /*is_default=*/false);
+    return;
+  }
+  apply_chain(u, v, chain_for(r.decomposition), /*is_default=*/false);
+}
+
+void RbpcController::reroute_affected(const std::vector<LspId>& disrupted) {
+  std::unordered_set<std::uint64_t> keys;
+  for (LspId id : disrupted) {
+    auto it = lsp_pairs_.find(id);
+    if (it == lsp_pairs_.end()) continue;
+    keys.insert(it->second.begin(), it->second.end());
+  }
+  // Previously broken or rerouted pairs may be affected by any topology
+  // change (for the better on recovery, for the worse on failure).
+  keys.insert(broken_pairs_.begin(), broken_pairs_.end());
+  for (const auto& [key, chain] : dirty_pairs_) keys.insert(key);
+
+  for (std::uint64_t key : keys) {
+    const NodeId u = static_cast<NodeId>(key / g_.num_nodes());
+    const NodeId v = static_cast<NodeId>(key % g_.num_nodes());
+    reroute_pair(u, v);
+  }
+}
+
+void RbpcController::precompute_plan(EdgeId e) {
+  require(provisioned_, "RbpcController: provision() first");
+  plans_[e] = compute_fec_update_plan(base_, e);
+}
+
+void RbpcController::fail_link(EdgeId e) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(!mask_.edge_failed(e), "fail_link: link already failed");
+  mask_.fail_edge(e);
+  net_.set_failures(mask_);
+
+  // Fast path: a precomputed plan covers the single-failure case exactly.
+  if (mask_.failed_edge_count() == 1 && mask_.failed_node_count() == 0) {
+    if (auto it = plans_.find(e); it != plans_.end()) {
+      for (const FecUpdate& u : it->second.updates) {
+        if (u.chain.empty()) {
+          apply_chain(u.src, u.dst, {}, /*is_default=*/false);
+        } else {
+          apply_chain(u.src, u.dst, chain_for(u.chain), /*is_default=*/false);
+        }
+      }
+      return;
+    }
+  }
+  reroute_affected(net_.lsps_using_edge(e));
+}
+
+void RbpcController::recover_link(EdgeId e) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(mask_.edge_failed(e), "recover_link: link is not failed");
+  undo_local_patches(e);
+  mask_.restore_edge(e);
+  net_.set_failures(mask_);
+  reroute_affected({});
+}
+
+void RbpcController::fail_router(NodeId v) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(mask_.node_alive(v), "fail_router: router already failed");
+  mask_.fail_node(v);
+  net_.set_failures(mask_);
+  std::vector<LspId> disrupted;
+  for (LspId id = 0; id < net_.num_lsps(); ++id) {
+    if (net_.lsp(id).path.visits_node(v)) disrupted.push_back(id);
+  }
+  reroute_affected(disrupted);
+}
+
+void RbpcController::recover_router(NodeId v) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(mask_.node_failed(v), "recover_router: router is not failed");
+  for (const graph::Arc& a : g_.arcs(v)) undo_local_patches(a.edge);
+  mask_.restore_node(v);
+  net_.set_failures(mask_);
+  reroute_affected({});
+}
+
+std::size_t RbpcController::local_patch_router(NodeId v) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(mask_.node_failed(v),
+          "local_patch_router: apply fail_router(v) first");
+  std::size_t patched = 0;
+  for (const graph::Arc& a : g_.arcs(v)) {
+    patched += local_patch(a.edge, LocalMode::EndRoute);
+  }
+  return patched;
+}
+
+std::size_t RbpcController::local_patch(EdgeId e, LocalMode mode) {
+  require(provisioned_, "RbpcController: provision() first");
+  // A link is patchable when it is down for any reason the adjacent router
+  // can detect — an explicit link failure or a dead far-end router (the
+  // paper: "a node failure is equivalent to a failure of all incident
+  // edges").
+  require(!mask_.edge_alive(g_, e),
+          "local_patch: apply fail_link/fail_router first (the adjacent "
+          "router only patches links it has detected as down)");
+
+  std::size_t patched = 0;
+  for (LspId id : net_.lsps_using_edge(e)) {
+    if (splices_.contains({e, id})) continue;
+    const Path& path = net_.lsp(id).path;
+    const auto& edges = path.edges();
+    const auto pos = std::find(edges.begin(), edges.end(), e);
+    RBPC_ASSERT(pos != edges.end());
+    const std::size_t idx = static_cast<std::size_t>(pos - edges.begin());
+    const NodeId r1 = path.node(idx);
+    if (!mask_.node_alive(r1)) continue;
+
+    std::vector<Label> labels;  // bottom-first
+    if (mode == LocalMode::EndRoute) {
+      const Path tail = spf::shortest_path(
+          g_, r1, path.target(), mask_,
+          spf::SpfOptions{.metric = metric_, .padded = true});
+      if (tail.empty()) continue;  // destination unreachable from R1
+      const std::vector<LspId> chain = chain_for(greedy_decompose(base_, tail));
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        labels.push_back(net_.lsp(*it).ingress_label());
+      }
+    } else {  // EdgeBypass
+      Path bypass = spf::min_cost_bypass(g_, e, mask_, metric_);
+      if (bypass.empty()) continue;
+      if (bypass.source() != r1) bypass = bypass.reversed();
+      // Resume the original LSP at the far end of the failed link.
+      const Label resume = net_.lsp(id).labels[idx + 1];
+      if (resume != mpls::kInvalidLabel) labels.push_back(resume);
+      const std::vector<LspId> chain =
+          chain_for(greedy_decompose(base_, bypass));
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        labels.push_back(net_.lsp(*it).ingress_label());
+      }
+    }
+
+    mpls::IlmEntry saved = net_.splice_ilm(id, r1, std::move(labels));
+    splices_.emplace(std::make_pair(e, id), std::make_pair(r1, std::move(saved)));
+    ++patched;
+  }
+  return patched;
+}
+
+void RbpcController::undo_local_patches(EdgeId e) {
+  auto it = splices_.lower_bound({e, 0});
+  while (it != splices_.end() && it->first.first == e) {
+    const LspId id = it->first.second;
+    net_.restore_ilm(id, it->second.first, it->second.second);
+    it = splices_.erase(it);
+  }
+}
+
+mpls::ForwardResult RbpcController::send(NodeId src, NodeId dst) {
+  require(provisioned_, "RbpcController: provision() first");
+  return net_.send(src, dst);
+}
+
+}  // namespace rbpc::core

@@ -1,0 +1,148 @@
+// RbpcController: the full RBPC control plane over the MPLS simulator.
+//
+// Provisions the canonical base LSP set (one padded-unique shortest path per
+// ordered pair, plus a one-hop LSP per link direction so Theorem 2's loose
+// edges are always available), installs FEC entries, and then implements
+// the paper's restoration schemes as pure table operations:
+//
+//  * fail_link / fail_router (source RBPC) — for every pair whose current
+//    forwarding chain is disrupted, recompute the restoration as a
+//    concatenation of surviving base LSPs and rewrite the FEC entry at the
+//    source router only. ILM tables are never touched.
+//  * local_patch (local RBPC) — for every LSP crossing the failed link,
+//    splice the ILM entry at the adjacent router to either route straight
+//    to the LSP's egress (end-route) or around the failed link and back
+//    onto the original LSP (edge-bypass).
+//  * recover_link — reverses the FEC rewrites (and any local splices).
+//
+// The point of this class — and of the integration tests driving it — is
+// that restoration correctness is verified by *forwarding actual packets*
+// through the label tables, not by comparing path objects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "core/fec_update.hpp"
+#include "graph/graph.hpp"
+#include "mpls/network.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+
+namespace rbpc::core {
+
+class RbpcController {
+ public:
+  enum class LocalMode { EndRoute, EdgeBypass };
+
+  /// The graph must outlive the controller. Call provision() before use.
+  RbpcController(const graph::Graph& g, spf::Metric metric);
+
+  /// Provisions all base LSPs and default FEC entries. O(n^2) LSPs —
+  /// intended for ISP-scale topologies (the paper's primary setting).
+  void provision();
+
+  // --- topology events (source RBPC) ---------------------------------------
+
+  void fail_link(graph::EdgeId e);
+  void recover_link(graph::EdgeId e);
+  void fail_router(graph::NodeId v);
+  void recover_router(graph::NodeId v);
+
+  /// Precomputes the FEC update plan for a potential failure of `e` (paper
+  /// §4.1: "fastest if pre-computed and indexed by the specific link
+  /// failure"). fail_link(e) then applies the stored plan instead of
+  /// recomputing, whenever `e` is the only failure in effect.
+  void precompute_plan(graph::EdgeId e);
+  /// Number of links with stored plans.
+  std::size_t planned_links() const { return plans_.size(); }
+
+  // --- local RBPC -----------------------------------------------------------
+
+  /// Splices the ILM entry at the router adjacent to `e` for every base LSP
+  /// crossing it. Requires the link to be down (fail_link, or fail_router
+  /// of an endpoint) — the adjacent router detects the failure; the splice
+  /// must not race a live link. Returns the number of LSPs patched.
+  std::size_t local_patch(graph::EdgeId e, LocalMode mode);
+
+  /// Local RBPC around a failed router: patches every incident link (the
+  /// paper: a node failure is the failure of all incident edges). Only
+  /// EndRoute is meaningful — an edge bypass would route straight back
+  /// into the dead router. Returns the number of LSPs patched.
+  std::size_t local_patch_router(graph::NodeId v);
+
+  /// Reverses local_patch splices for `e` (called on recovery).
+  void undo_local_patches(graph::EdgeId e);
+
+  // --- data plane ------------------------------------------------------------
+
+  mpls::ForwardResult send(graph::NodeId src, graph::NodeId dst);
+
+  // --- introspection ----------------------------------------------------------
+
+  mpls::Network& network() { return net_; }
+  const mpls::Network& network() const { return net_; }
+  const graph::FailureMask& failures() const { return mask_; }
+
+  /// The base LSP provisioned for the ordered pair; kInvalidLsp when the
+  /// pair is disconnected in the unfailed network.
+  mpls::LspId pair_lsp(graph::NodeId u, graph::NodeId v) const;
+
+  /// Pairs whose FEC entry currently deviates from the default single-LSP
+  /// chain (i.e. pairs under restoration).
+  std::size_t pairs_under_restoration() const { return dirty_pairs_.size(); }
+
+  std::size_t num_base_lsps() const { return num_base_lsps_; }
+
+ private:
+  const graph::Graph& g_;
+  spf::Metric metric_;
+  spf::DistanceOracle oracle0_;  ///< unfailed-network oracle (base set)
+  CanonicalBaseSet base_;
+  mpls::Network net_;
+  graph::FailureMask mask_;
+  bool provisioned_ = false;
+  std::size_t num_base_lsps_ = 0;
+
+  std::uint64_t pair_key(graph::NodeId u, graph::NodeId v) const;
+
+  /// pair key -> base LSP.
+  std::unordered_map<std::uint64_t, mpls::LspId> pair_lsp_;
+  /// edge id -> {LSP forward (u->v), LSP backward (v->u)}.
+  std::vector<std::array<mpls::LspId, 2>> edge_lsp_;
+  /// LSP -> pairs whose *current* chain uses it.
+  std::unordered_map<mpls::LspId, std::unordered_set<std::uint64_t>> lsp_pairs_;
+  /// pair key -> current chain (absent = default chain).
+  std::unordered_map<std::uint64_t, std::vector<mpls::LspId>> dirty_pairs_;
+  /// pairs with no current route (FEC removed).
+  std::unordered_set<std::uint64_t> broken_pairs_;
+  /// (edge, lsp) -> saved ILM entry for undo of local splices.
+  std::map<std::pair<graph::EdgeId, mpls::LspId>,
+           std::pair<graph::NodeId, mpls::IlmEntry>>
+      splices_;
+  /// Precomputed single-failure FEC update plans, indexed by link.
+  std::unordered_map<graph::EdgeId, FecUpdatePlan> plans_;
+
+  /// Maps a decomposition onto provisioned LSP ids.
+  std::vector<mpls::LspId> chain_for(const Decomposition& d);
+
+  /// Installs `chain` (or clears FEC when empty) for the pair, maintaining
+  /// the reverse index and dirty bookkeeping.
+  void apply_chain(graph::NodeId u, graph::NodeId v,
+                   const std::vector<mpls::LspId>& chain, bool is_default);
+
+  /// Recomputes the pair's FEC chain under the current mask.
+  void reroute_pair(graph::NodeId u, graph::NodeId v);
+
+  /// Recomputes every pair affected by a failure of the given LSP set, plus
+  /// previously broken/dirty pairs (used by both fail and recover events).
+  void reroute_affected(const std::vector<mpls::LspId>& disrupted);
+};
+
+}  // namespace rbpc::core

@@ -1,0 +1,177 @@
+#include "core/decompose.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "spf/metric.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Path;
+using graph::Weight;
+
+std::size_t Decomposition::base_count() const {
+  return static_cast<std::size_t>(
+      std::count(is_base.begin(), is_base.end(), true));
+}
+
+Path Decomposition::joined() const {
+  Path out;
+  for (const Path& p : pieces) out = out.concat(p);
+  return out;
+}
+
+Decomposition greedy_decompose(BasePathSet& base, const Path& route) {
+  require(!route.empty(), "greedy_decompose: empty route");
+  Decomposition out;
+  const std::size_t last = route.num_nodes() - 1;
+  std::size_t pos = 0;
+  while (pos < last) {
+    std::size_t best = pos;  // farthest node index reachable by one base piece
+    if (base.contains(route.subpath(pos, pos + 1))) {
+      if (base.prefix_monotone()) {
+        // Largest j with subpath(pos, j) in the set; membership is monotone
+        // in j, so binary search.
+        std::size_t lo = pos + 1;  // known member
+        std::size_t hi = last;     // candidate range upper end
+        while (lo < hi) {
+          const std::size_t mid = lo + (hi - lo + 1) / 2;
+          if (base.contains(route.subpath(pos, mid))) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        best = lo;
+      } else {
+        // Linear scan from the far end.
+        for (std::size_t j = last; j > pos; --j) {
+          if (base.contains(route.subpath(pos, j))) {
+            best = j;
+            break;
+          }
+        }
+      }
+    }
+    if (best == pos) {
+      // Not even the first hop is a base path: emit it as a loose edge
+      // (Theorem 2's interleaved edges).
+      out.pieces.push_back(route.subpath(pos, pos + 1));
+      out.is_base.push_back(false);
+      pos = pos + 1;
+    } else {
+      out.pieces.push_back(route.subpath(pos, best));
+      out.is_base.push_back(true);
+      pos = best;
+    }
+  }
+  return out;
+}
+
+Decomposition overlay_decompose(BasePathSet& base,
+                                const graph::FailureMask& mask, NodeId s,
+                                NodeId t) {
+  const graph::Graph& g = base.graph();
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "overlay_decompose: node out of range");
+  require(mask.node_alive(s) && mask.node_alive(t),
+          "overlay_decompose: endpoint router is failed");
+
+  struct State {
+    Weight cost = graph::kUnreachable;
+    std::uint32_t pieces = ~0u;
+    NodeId pred = graph::kInvalidNode;
+    bool pred_is_base = false;  // piece from pred was a base path (vs edge)
+    EdgeId pred_edge = graph::kInvalidEdge;  // when the piece was an edge
+    bool settled = false;
+  };
+  std::vector<State> states(g.num_nodes());
+
+  struct HeapItem {
+    Weight cost;
+    std::uint32_t pieces;
+    NodeId node;
+    bool operator>(const HeapItem& o) const {
+      if (cost != o.cost) return cost > o.cost;
+      if (pieces != o.pieces) return pieces > o.pieces;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  states[s].cost = 0;
+  states[s].pieces = 0;
+  heap.push({0, 0, s});
+
+  auto relax = [&](NodeId to, Weight cost, std::uint32_t pieces, NodeId pred,
+                   bool is_base, EdgeId pred_edge) {
+    State& st = states[to];
+    if (st.settled) return;
+    if (cost < st.cost || (cost == st.cost && pieces < st.pieces)) {
+      st.cost = cost;
+      st.pieces = pieces;
+      st.pred = pred;
+      st.pred_is_base = is_base;
+      st.pred_edge = pred_edge;
+      heap.push({cost, pieces, to});
+    }
+  };
+
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    State& st = states[item.node];
+    if (st.settled || item.cost != st.cost || item.pieces != st.pieces) continue;
+    st.settled = true;
+    if (item.node == t) break;
+    const NodeId x = item.node;
+
+    // Moves along surviving base paths x -> y (cost of the path, 1 piece).
+    // base_path is defined on the unfailed network; survival is re-checked
+    // against mask. The sets' oracles cache the SPF tree at x, so probing
+    // all targets costs O(n * path length), not n tree builds.
+    for (NodeId y = 0; y < g.num_nodes(); ++y) {
+      if (y == x || !mask.node_alive(y)) continue;
+      const Path bp = base.base_path(x, y);
+      if (bp.empty() || !bp.alive(g, mask)) continue;
+      Weight cost = 0;
+      for (EdgeId e : bp.edges()) cost += spf::metric_weight(g, e, base.metric());
+      relax(y, st.cost + cost, st.pieces + 1, x, /*is_base=*/true,
+            graph::kInvalidEdge);
+    }
+    // Moves along surviving single edges (Theorem 2 connectors).
+    for (const graph::Arc& a : g.arcs(x)) {
+      if (!mask.edge_alive(g, a.edge)) continue;
+      relax(a.to, st.cost + spf::metric_weight(g, a.edge, base.metric()),
+            st.pieces + 1, x, /*is_base=*/false, a.edge);
+    }
+  }
+
+  Decomposition out;
+  if (states[t].cost == graph::kUnreachable) return out;
+
+  // Reconstruct pieces t <- ... <- s, then reverse.
+  NodeId cur = t;
+  while (cur != s) {
+    const State& st = states[cur];
+    if (st.pred_is_base) {
+      out.pieces.push_back(base.base_path(st.pred, cur));
+      out.is_base.push_back(true);
+    } else {
+      Path edge_piece = graph::Path::trivial(st.pred);
+      edge_piece.extend(g, st.pred_edge, cur);
+      // An edge that happens to be a base path counts as one.
+      out.pieces.push_back(edge_piece);
+      out.is_base.push_back(base.contains(edge_piece));
+    }
+    cur = st.pred;
+  }
+  std::reverse(out.pieces.begin(), out.pieces.end());
+  std::reverse(out.is_base.begin(), out.is_base.end());
+  return out;
+}
+
+}  // namespace rbpc::core

@@ -1,0 +1,59 @@
+// Decomposition of restoration routes into concatenations of base paths —
+// the algorithmic heart of RBPC (paper Section 4.1).
+//
+// Two algorithms, as in the paper:
+//  * greedy_decompose — the paper's greedy: repeatedly take the longest
+//    prefix of the remaining route that is a base path (binary search on
+//    prefix length when the set is prefix-monotone), falling back to a
+//    single edge when not even the first hop is a base path (Theorem 2's
+//    k loose edges). Covers exactly the given route. Optimal piece count
+//    for subpath-closed sets.
+//  * overlay_decompose — the paper's fallback for sparse base sets:
+//    Dijkstra on the overlay graph whose edges are the *surviving* base
+//    paths plus surviving single edges. Returns a minimum-cost (then
+//    fewest-piece) concatenation, which may differ from any particular
+//    pre-computed route.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/base_set.hpp"
+#include "graph/failure.hpp"
+#include "graph/path.hpp"
+
+namespace rbpc::core {
+
+/// A concatenation of path pieces. Piece i is flagged `is_base[i]` when it
+/// came from the base set (an existing LSP); otherwise it is a loose edge
+/// connector in the sense of Theorem 2.
+struct Decomposition {
+  std::vector<graph::Path> pieces;
+  std::vector<bool> is_base;
+
+  /// Total component count — the paper's "PC length".
+  std::size_t size() const { return pieces.size(); }
+  std::size_t base_count() const;
+  std::size_t edge_count() const { return size() - base_count(); }
+  bool empty() const { return pieces.empty(); }
+
+  /// Re-concatenates the pieces into one route.
+  graph::Path joined() const;
+};
+
+/// Covers `route` exactly by base paths + loose edges. Preconditions:
+/// route non-empty; every edge of `route` exists in base.graph().
+/// Throws NoRouteError if the route cannot be covered (cannot happen when
+/// single edges are admissible pieces, which they always are here).
+Decomposition greedy_decompose(BasePathSet& base, const graph::Path& route);
+
+/// Minimum-cost restoration concatenation from s to t over surviving base
+/// paths and surviving single edges. Returns an empty decomposition when t
+/// is unreachable. Cost ties are broken towards fewer pieces, then
+/// deterministically. O(n * (n + m)) per call — intended for ISP-scale
+/// graphs and the base-set ablation, not the 40k-node topologies.
+Decomposition overlay_decompose(BasePathSet& base,
+                                const graph::FailureMask& mask,
+                                graph::NodeId s, graph::NodeId t);
+
+}  // namespace rbpc::core

@@ -1,0 +1,67 @@
+// Failure drill driver: executes randomized fail/recover/patch sequences
+// against a control plane and verifies the data-plane invariant after every
+// event — packets are delivered if and only if the pair is connected under
+// the current failures, and always along a minimum-cost surviving route.
+//
+// Used by the integration fuzz tests (against both RbpcController flavors)
+// and available to downstream users as a soak-testing harness. Intended for
+// simple graphs (no parallel links): route costs are reconstructed from the
+// forwarding trace.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "mpls/packet.hpp"
+#include "spf/metric.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+
+/// Adapter over a control plane (RbpcController, MergedRbpcController, or
+/// anything else with the same duties).
+struct DrillActions {
+  std::function<void(graph::EdgeId)> fail_link;
+  std::function<void(graph::EdgeId)> recover_link;
+  /// Optional router-failure hooks; router events are only generated when
+  /// both are set.
+  std::function<void(graph::NodeId)> fail_router;
+  std::function<void(graph::NodeId)> recover_router;
+  /// Optional: invoked on some link failures to exercise local patching
+  /// alongside the source reroute. May be null.
+  std::function<void(graph::EdgeId)> local_patch;
+  std::function<mpls::ForwardResult(graph::NodeId, graph::NodeId)> send;
+  std::function<const graph::FailureMask&()> failures;
+};
+
+struct DrillConfig {
+  std::size_t steps = 50;           ///< fail/recover events to execute
+  std::size_t probes_per_step = 20; ///< random pair probes after each event
+  double recover_bias = 0.4;        ///< chance to recover (when possible)
+  double patch_chance = 0.5;        ///< chance to also local-patch a failure
+  double router_chance = 0.25;      ///< chance a failure event hits a router
+                                    ///< (needs the router hooks)
+  std::size_t max_concurrent = 3;   ///< cap on simultaneous failed elements
+};
+
+struct DrillReport {
+  std::size_t events = 0;
+  std::size_t probes = 0;
+  std::size_t delivered = 0;
+  std::size_t expected_unreachable = 0;
+  /// Human-readable descriptions of invariant violations (empty = pass).
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs the drill. Throws nothing on invariant violations — they are
+/// reported so tests can print them all.
+DrillReport run_failure_drill(const graph::Graph& g, spf::Metric metric,
+                              const DrillActions& actions,
+                              const DrillConfig& config, Rng& rng);
+
+}  // namespace rbpc::core

@@ -1,0 +1,51 @@
+#include "core/fec_update.hpp"
+
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::NodeId;
+using graph::Path;
+
+FecUpdatePlan compute_fec_update_plan(BasePathSet& base, EdgeId link) {
+  const graph::Graph& g = base.graph();
+  require(link < g.num_edges(), "compute_fec_update_plan: link out of range");
+
+  FecUpdatePlan plan;
+  plan.link = link;
+  FailureMask mask;
+  mask.fail_edge(link);
+
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t) continue;
+      const Path primary = base.base_path(s, t);
+      if (primary.empty() || !primary.uses_edge(link)) continue;
+      FecUpdate update;
+      update.src = s;
+      update.dst = t;
+      const Path backup = spf::shortest_path(
+          g, s, t, mask,
+          spf::SpfOptions{.metric = base.metric(), .padded = true});
+      if (!backup.empty()) {
+        update.chain = greedy_decompose(base, backup);
+      }
+      plan.updates.push_back(std::move(update));
+    }
+  }
+  return plan;
+}
+
+std::vector<FecUpdatePlan> compute_all_fec_update_plans(BasePathSet& base) {
+  std::vector<FecUpdatePlan> plans;
+  plans.reserve(base.graph().num_edges());
+  for (EdgeId e = 0; e < base.graph().num_edges(); ++e) {
+    plans.push_back(compute_fec_update_plan(base, e));
+  }
+  return plans;
+}
+
+}  // namespace rbpc::core

@@ -1,0 +1,59 @@
+#include "core/hybrid.hpp"
+
+#include "spf/metric.hpp"
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+namespace {
+
+graph::Weight metric_cost(const graph::Graph& g, const graph::Path& p,
+                          spf::Metric metric) {
+  graph::Weight total = 0;
+  for (graph::EdgeId e : p.edges()) total += spf::metric_weight(g, e, metric);
+  return total;
+}
+
+}  // namespace
+
+HybridTimeline hybrid_timeline(const graph::Graph& g, spf::Metric metric,
+                               const graph::Path& lsp_path,
+                               std::size_t fail_index, lsdb::SimTime t0,
+                               const lsdb::FloodParams& flood,
+                               bool use_edge_bypass) {
+  require(fail_index < lsp_path.hops(), "hybrid_timeline: bad fail_index");
+  HybridTimeline out;
+  out.fail_time = t0;
+  out.original = lsp_path;
+
+  const graph::EdgeId e = lsp_path.edge(fail_index);
+  graph::FailureMask mask;
+  mask.fail_edge(e);
+
+  // Local patch activates as soon as the adjacent router detects the
+  // failure — no signalling needed.
+  out.local_patch_time = t0 + flood.detect_delay;
+  out.local_route =
+      use_edge_bypass
+          ? edge_bypass_path(g, metric, lsp_path, fail_index, mask)
+          : end_route_path(g, metric, lsp_path, fail_index, mask);
+
+  // Source patch activates when the flood reaches the source router.
+  const lsdb::FloodOutcome flood_times =
+      lsdb::flood_notification_times(g, mask, e, t0, flood);
+  out.source_patch_time = flood_times.notified_at[lsp_path.source()];
+  out.final_route = spf::shortest_path(
+      g, lsp_path.source(), lsp_path.target(), mask,
+      spf::SpfOptions{.metric = metric, .padded = true});
+
+  out.restored = !out.final_route.empty() && !out.local_route.empty();
+  if (out.restored) {
+    out.interim_stretch =
+        static_cast<double>(metric_cost(g, out.local_route, metric)) /
+        static_cast<double>(metric_cost(g, out.final_route, metric));
+  }
+  return out;
+}
+
+}  // namespace rbpc::core

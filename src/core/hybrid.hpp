@@ -1,0 +1,47 @@
+// Hybrid RBPC (paper Section 4.2, last paragraph): the router adjacent to a
+// failure patches immediately (local RBPC, possibly along a stretched
+// route), and the source router re-optimizes along the min-cost restoration
+// once the link-state flood reaches it.
+//
+// hybrid_timeline computes the resulting service timeline for one disrupted
+// LSP and one link failure: when each patch activates and what route (and
+// stretch) traffic experiences in each interval.
+#pragma once
+
+#include "core/restoration.hpp"
+#include "graph/failure.hpp"
+#include "graph/path.hpp"
+#include "lsdb/lsdb.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::core {
+
+struct HybridTimeline {
+  /// Time the link failed (input t0).
+  lsdb::SimTime fail_time = 0;
+  /// Adjacent router detects and splices: traffic flows again.
+  lsdb::SimTime local_patch_time = 0;
+  /// Source router has been flooded the LSA and rewrites its FEC entry.
+  lsdb::SimTime source_patch_time = 0;
+
+  graph::Path original;     ///< the disrupted LSP
+  graph::Path local_route;  ///< route during [local_patch, source_patch)
+  graph::Path final_route;  ///< min-cost restoration after source patch
+
+  /// Cost of local_route / cost of final_route (>= 1; the price paid for
+  /// restoring before the flood completes).
+  double interim_stretch = 0.0;
+
+  /// False when the failure disconnected the pair (no route at any stage).
+  bool restored = false;
+};
+
+/// Computes the hybrid timeline for failing lsp_path.edge(fail_index) at
+/// time t0. `local_mode` selects the adjacent router's patch flavor.
+HybridTimeline hybrid_timeline(const graph::Graph& g, spf::Metric metric,
+                               const graph::Path& lsp_path,
+                               std::size_t fail_index, lsdb::SimTime t0,
+                               const lsdb::FloodParams& flood,
+                               bool use_edge_bypass = true);
+
+}  // namespace rbpc::core

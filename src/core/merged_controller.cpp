@@ -1,0 +1,245 @@
+#include "core/merged_controller.hpp"
+
+#include <algorithm>
+
+#include "core/restoration.hpp"
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Path;
+using mpls::Label;
+
+MergedRbpcController::MergedRbpcController(const graph::Graph& g,
+                                           spf::Metric metric)
+    : g_(g),
+      metric_(metric),
+      oracle0_(g, graph::FailureMask{}, metric),
+      base_(oracle0_),
+      net_(g) {
+  require(!g.directed(), "MergedRbpcController: undirected networks only");
+}
+
+std::uint64_t MergedRbpcController::pair_key(NodeId u, NodeId v) const {
+  return static_cast<std::uint64_t>(u) * g_.num_nodes() + v;
+}
+
+void MergedRbpcController::provision() {
+  require(!provisioned_, "MergedRbpcController::provision called twice");
+  provisioned_ = true;
+
+  // One-hop LSPs per link direction (loose-edge connectors).
+  edge_lsp_.assign(g_.num_edges(), {mpls::kInvalidLsp, mpls::kInvalidLsp});
+  for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+    const graph::Edge& ed = g_.edge(e);
+    edge_lsp_[e][0] =
+        net_.provision_lsp(Path::from_parts(g_, {ed.u, ed.v}, {e}));
+    edge_lsp_[e][1] =
+        net_.provision_lsp(Path::from_parts(g_, {ed.v, ed.u}, {e}));
+  }
+
+  // One merged tree per destination: the padded SPF tree rooted at the
+  // destination (undirected + symmetric padding => its parent pointers are
+  // every router's canonical next hop toward the destination).
+  for (NodeId dest = 0; dest < g_.num_nodes(); ++dest) {
+    const spf::ShortestPathTree& tree = oracle0_.padded_tree(dest);
+    std::vector<NodeId> parent(g_.num_nodes(), graph::kInvalidNode);
+    std::vector<EdgeId> parent_edge(g_.num_nodes(), graph::kInvalidEdge);
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (v == dest || !tree.reachable(v)) continue;
+      parent[v] = tree.parent(v);
+      parent_edge[v] = tree.parent_edge(v);
+    }
+    net_.provision_merged_tree(dest, parent, parent_edge);
+  }
+
+  // Default FEC entries: a single merged label per connected pair.
+  for (NodeId s = 0; s < g_.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g_.num_nodes(); ++t) {
+      if (s == t) continue;
+      const Path route = oracle0_.canonical_path(s, t);
+      if (route.empty()) continue;
+      mpls::FecEntry entry;
+      entry.push = {net_.merged_label(s, t)};
+      net_.lsr_mutable(s).set_fec(t, std::move(entry));
+      routes_.emplace(pair_key(s, t), route);
+    }
+  }
+}
+
+std::vector<Label> MergedRbpcController::stack_for(
+    const Decomposition& d) const {
+  // Bottom-first: the LAST piece's label goes deepest.
+  std::vector<Label> stack;
+  stack.reserve(d.pieces.size());
+  for (std::size_t i = d.pieces.size(); i-- > 0;) {
+    const Path& piece = d.pieces[i];
+    if (d.is_base[i]) {
+      const Label l = net_.merged_label(piece.source(), piece.target());
+      RBPC_ASSERT(l != mpls::kInvalidLabel);
+      stack.push_back(l);
+    } else {
+      RBPC_ASSERT(piece.hops() == 1);
+      const EdgeId e = piece.edge(0);
+      const int dir = piece.source() == g_.edge(e).u ? 0 : 1;
+      stack.push_back(
+          net_.lsp(edge_lsp_[e][static_cast<std::size_t>(dir)]).ingress_label());
+    }
+  }
+  return stack;
+}
+
+void MergedRbpcController::install_fec(NodeId s, NodeId t,
+                                       const Decomposition& d) {
+  mpls::FecEntry entry;
+  entry.push = stack_for(d);
+  net_.lsr_mutable(s).set_fec(t, std::move(entry));
+}
+
+void MergedRbpcController::reroute_pair(NodeId u, NodeId v) {
+  const std::uint64_t key = pair_key(u, v);
+  if (!routes_.contains(key) && !broken_pairs_.contains(key)) return;
+
+  auto mark_broken = [&] {
+    net_.lsr_mutable(u).clear_fec(v);
+    routes_.erase(key);
+    dirty_pairs_.erase(key);
+    broken_pairs_.insert(key);
+  };
+  if (!mask_.node_alive(u) || !mask_.node_alive(v)) {
+    mark_broken();
+    return;
+  }
+  const Path canonical = oracle0_.canonical_path(u, v);
+  if (mask_.empty() || canonical.alive(g_, mask_)) {
+    // Default single merged label.
+    mpls::FecEntry entry;
+    entry.push = {net_.merged_label(u, v)};
+    net_.lsr_mutable(u).set_fec(v, std::move(entry));
+    routes_[key] = canonical;
+    dirty_pairs_.erase(key);
+    broken_pairs_.erase(key);
+    return;
+  }
+  const Restoration r = source_rbpc_restore(base_, u, v, mask_);
+  if (!r.restored()) {
+    mark_broken();
+    return;
+  }
+  install_fec(u, v, r.decomposition);
+  routes_[key] = r.backup;
+  dirty_pairs_.insert(key);
+  broken_pairs_.erase(key);
+}
+
+void MergedRbpcController::reroute_affected(EdgeId changed_edge,
+                                            NodeId changed_node) {
+  std::vector<std::pair<NodeId, NodeId>> todo;
+  for (const auto& [key, route] : routes_) {
+    const bool affected =
+        (changed_edge != graph::kInvalidEdge && route.uses_edge(changed_edge)) ||
+        (changed_node != graph::kInvalidNode &&
+         route.visits_node(changed_node)) ||
+        dirty_pairs_.contains(key);
+    if (!affected) continue;
+    todo.emplace_back(static_cast<NodeId>(key / g_.num_nodes()),
+                      static_cast<NodeId>(key % g_.num_nodes()));
+  }
+  for (std::uint64_t key : broken_pairs_) {
+    todo.emplace_back(static_cast<NodeId>(key / g_.num_nodes()),
+                      static_cast<NodeId>(key % g_.num_nodes()));
+  }
+  for (const auto& [u, v] : todo) reroute_pair(u, v);
+}
+
+void MergedRbpcController::fail_link(EdgeId e) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(!mask_.edge_failed(e), "fail_link: link already failed");
+  mask_.fail_edge(e);
+  net_.set_failures(mask_);
+  reroute_affected(e, graph::kInvalidNode);
+}
+
+void MergedRbpcController::recover_link(EdgeId e) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(mask_.edge_failed(e), "recover_link: link is not failed");
+  undo_local_patches(e);
+  mask_.restore_edge(e);
+  net_.set_failures(mask_);
+  reroute_affected(e, graph::kInvalidNode);
+}
+
+void MergedRbpcController::fail_router(NodeId v) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(mask_.node_alive(v), "fail_router: router already failed");
+  mask_.fail_node(v);
+  net_.set_failures(mask_);
+  reroute_affected(graph::kInvalidEdge, v);
+}
+
+void MergedRbpcController::recover_router(NodeId v) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(mask_.node_failed(v), "recover_router: router is not failed");
+  mask_.restore_node(v);
+  net_.set_failures(mask_);
+  reroute_affected(graph::kInvalidEdge, v);
+}
+
+std::size_t MergedRbpcController::local_patch(EdgeId e) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(mask_.edge_failed(e),
+          "local_patch: apply fail_link(e) first (the adjacent router only "
+          "patches links it has detected as down)");
+
+  std::size_t patched = 0;
+  for (NodeId dest = 0; dest < g_.num_nodes(); ++dest) {
+    if (!mask_.node_alive(dest)) continue;
+    const spf::ShortestPathTree& tree = oracle0_.padded_tree(dest);
+    // Find routers whose next hop toward dest crosses e.
+    for (NodeId r1 = 0; r1 < g_.num_nodes(); ++r1) {
+      if (r1 == dest || !tree.reachable(r1)) continue;
+      if (tree.parent_edge(r1) != e) continue;
+      if (!mask_.node_alive(r1)) continue;
+      if (splices_.contains({e, r1, dest})) continue;
+      const Label in_label = net_.merged_label(r1, dest);
+      if (in_label == mpls::kInvalidLabel) continue;
+
+      const Path tail = spf::shortest_path(
+          g_, r1, dest, mask_,
+          spf::SpfOptions{.metric = metric_, .padded = true});
+      if (tail.empty()) continue;
+      const Decomposition d = greedy_decompose(base_, tail);
+
+      const mpls::IlmEntry* old = net_.lsr(r1).ilm(in_label);
+      RBPC_ASSERT(old != nullptr);
+      splices_.emplace(std::make_tuple(e, r1, dest), *old);
+
+      mpls::IlmEntry spliced;
+      spliced.push = stack_for(d);
+      spliced.out_interface = mpls::kLocalInterface;
+      net_.lsr_mutable(r1).set_ilm(in_label, std::move(spliced));
+      ++patched;
+    }
+  }
+  return patched;
+}
+
+void MergedRbpcController::undo_local_patches(EdgeId e) {
+  auto it = splices_.lower_bound({e, 0, 0});
+  while (it != splices_.end() && std::get<0>(it->first) == e) {
+    const NodeId r1 = std::get<1>(it->first);
+    const NodeId dest = std::get<2>(it->first);
+    net_.lsr_mutable(r1).set_ilm(net_.merged_label(r1, dest), it->second);
+    it = splices_.erase(it);
+  }
+}
+
+mpls::ForwardResult MergedRbpcController::send(NodeId src, NodeId dst) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  return net_.send(src, dst);
+}
+
+}  // namespace rbpc::core

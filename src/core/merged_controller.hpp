@@ -1,0 +1,94 @@
+// MergedRbpcController: RBPC over a label-merged base set.
+//
+// The paper notes labels are a scarce resource and points to LSP merging —
+// one label per destination per router — as the standard remedy. This
+// controller provisions the all-pairs base set as n merged destination
+// trees (plus one-hop LSPs per link for Theorem 2's loose edges) instead of
+// n^2 individual LSPs, shrinking ILM tables from O(n * avg-path-length) to
+// O(n) entries per router while supporting exactly the same restoration by
+// concatenation: a restoration stack is simply
+//   [ merged-label(junction_m-1 -> t), ..., merged-label(s -> junction_1) ]
+// — each junction pops the finished tree's label and finds beneath it a
+// label of its own space continuing toward the next junction.
+//
+// Functionally equivalent to RbpcController (tests assert identical
+// delivery); the difference is the label economics, which the ablation
+// bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "graph/graph.hpp"
+#include "mpls/network.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+
+namespace rbpc::core {
+
+class MergedRbpcController {
+ public:
+  MergedRbpcController(const graph::Graph& g, spf::Metric metric);
+
+  /// Provisions n merged destination trees + 2 one-hop LSPs per link, and
+  /// default FEC entries for every connected ordered pair.
+  void provision();
+
+  void fail_link(graph::EdgeId e);
+  void recover_link(graph::EdgeId e);
+  void fail_router(graph::NodeId v);
+  void recover_router(graph::NodeId v);
+
+  /// Local RBPC in merged mode: for every destination whose tree crosses
+  /// the failed link, the upstream router splices its merged entry to an
+  /// end-route restoration stack — one splice repairs ALL traffic heading
+  /// to that destination through the dead link. Requires fail_link(e)
+  /// first. Returns the number of (router, destination) entries spliced.
+  std::size_t local_patch(graph::EdgeId e);
+  void undo_local_patches(graph::EdgeId e);
+
+  mpls::ForwardResult send(graph::NodeId src, graph::NodeId dst);
+
+  mpls::Network& network() { return net_; }
+  const mpls::Network& network() const { return net_; }
+  const graph::FailureMask& failures() const { return mask_; }
+  std::size_t pairs_under_restoration() const { return dirty_pairs_.size(); }
+
+ private:
+  const graph::Graph& g_;
+  spf::Metric metric_;
+  spf::DistanceOracle oracle0_;
+  CanonicalBaseSet base_;
+  mpls::Network net_;
+  graph::FailureMask mask_;
+  bool provisioned_ = false;
+
+  /// Per-edge one-hop LSPs, [forward, backward].
+  std::vector<std::array<mpls::LspId, 2>> edge_lsp_;
+  /// Current forwarding route per ordered pair (default = canonical path);
+  /// used to detect affected pairs on topology events.
+  std::unordered_map<std::uint64_t, graph::Path> routes_;
+  std::unordered_set<std::uint64_t> dirty_pairs_;
+  std::unordered_set<std::uint64_t> broken_pairs_;
+  /// (edge, router, dest) -> saved merged ILM entry for splice undo.
+  std::map<std::tuple<graph::EdgeId, graph::NodeId, graph::NodeId>,
+           mpls::IlmEntry>
+      splices_;
+
+  std::uint64_t pair_key(graph::NodeId u, graph::NodeId v) const;
+
+  /// Builds the bottom-first label vector realizing a decomposition from
+  /// merged-tree labels and edge-LSP ingress labels.
+  std::vector<mpls::Label> stack_for(const Decomposition& d) const;
+
+  void install_fec(graph::NodeId s, graph::NodeId t, const Decomposition& d);
+  void reroute_pair(graph::NodeId u, graph::NodeId v);
+  void reroute_affected(graph::EdgeId changed_edge, graph::NodeId changed_node);
+};
+
+}  // namespace rbpc::core

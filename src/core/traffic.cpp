@@ -1,0 +1,111 @@
+#include "core/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::NodeId;
+using graph::Path;
+
+DemandMatrix::DemandMatrix(std::size_t num_nodes)
+    : n_(num_nodes), d_(num_nodes * num_nodes, 0.0) {}
+
+double DemandMatrix::demand(NodeId s, NodeId t) const {
+  require(s < n_ && t < n_, "DemandMatrix::demand: node out of range");
+  return d_[static_cast<std::size_t>(s) * n_ + t];
+}
+
+void DemandMatrix::set_demand(NodeId s, NodeId t, double volume) {
+  require(s < n_ && t < n_, "DemandMatrix::set_demand: node out of range");
+  require(volume >= 0.0, "DemandMatrix::set_demand: negative volume");
+  require(s != t || volume == 0.0,
+          "DemandMatrix::set_demand: self-demand must be zero");
+  d_[static_cast<std::size_t>(s) * n_ + t] = volume;
+}
+
+double DemandMatrix::total() const {
+  return std::accumulate(d_.begin(), d_.end(), 0.0);
+}
+
+DemandMatrix DemandMatrix::uniform(std::size_t num_nodes, double volume) {
+  DemandMatrix m(num_nodes);
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId t = 0; t < num_nodes; ++t) {
+      if (s != t) m.set_demand(s, t, volume);
+    }
+  }
+  return m;
+}
+
+DemandMatrix DemandMatrix::gravity(std::size_t num_nodes, double total_volume,
+                                   Rng& rng) {
+  require(num_nodes >= 2, "DemandMatrix::gravity: need at least 2 nodes");
+  require(total_volume > 0.0, "DemandMatrix::gravity: volume must be positive");
+  // Heavy-ish-tailed masses: exp(3 * U^2) gives a few large sites.
+  std::vector<double> mass(num_nodes);
+  for (auto& m : mass) {
+    const double u = rng.uniform();
+    m = std::exp(3.0 * u * u);
+  }
+  DemandMatrix out(num_nodes);
+  double raw_total = 0.0;
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId t = 0; t < num_nodes; ++t) {
+      if (s != t) raw_total += mass[s] * mass[t];
+    }
+  }
+  const double scale = total_volume / raw_total;
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId t = 0; t < num_nodes; ++t) {
+      if (s != t) out.set_demand(s, t, mass[s] * mass[t] * scale);
+    }
+  }
+  return out;
+}
+
+double LinkLoads::max_load() const {
+  return load.empty() ? 0.0 : *std::max_element(load.begin(), load.end());
+}
+
+double LinkLoads::mean_load() const {
+  if (load.empty()) return 0.0;
+  return std::accumulate(load.begin(), load.end(), 0.0) /
+         static_cast<double>(load.size());
+}
+
+std::size_t LinkLoads::links_above(double threshold) const {
+  return static_cast<std::size_t>(
+      std::count_if(load.begin(), load.end(),
+                    [threshold](double l) { return l > threshold; }));
+}
+
+LinkLoads route_demands(
+    const graph::Graph& g, const DemandMatrix& demands,
+    const std::function<graph::Path(NodeId, NodeId)>& route) {
+  require(demands.num_nodes() == g.num_nodes(),
+          "route_demands: demand matrix size must match the graph");
+  require(static_cast<bool>(route), "route_demands: routing function required");
+  LinkLoads out;
+  out.load.assign(g.num_edges(), 0.0);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      const double volume = demands.demand(s, t);
+      if (volume <= 0.0) continue;
+      const Path p = route(s, t);
+      if (p.empty()) {
+        out.unrouted += volume;
+        continue;
+      }
+      require(p.source() == s && p.target() == t,
+              "route_demands: routing function returned a mismatched path");
+      for (graph::EdgeId e : p.edges()) out.load[e] += volume;
+    }
+  }
+  return out;
+}
+
+}  // namespace rbpc::core

@@ -1,0 +1,64 @@
+// Traffic demands and link-load analysis — an extension beyond the paper's
+// evaluation, motivated by its traffic-engineering framing (Section 1, and
+// the Fortz–Thorup citation): restoration does not just need to reconnect
+// pairs, it shifts load onto surviving links, and the *quality* of the
+// restoration paths determines how much.
+//
+// The module computes per-link utilization for a demand matrix under a
+// routing function, so benches can compare the load picture before a
+// failure, after RBPC restoration (min-cost routes), and after a
+// lower-quality baseline restoration.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+
+/// Ordered-pair demand volumes.
+class DemandMatrix {
+ public:
+  explicit DemandMatrix(std::size_t num_nodes);
+
+  double demand(graph::NodeId s, graph::NodeId t) const;
+  void set_demand(graph::NodeId s, graph::NodeId t, double volume);
+  std::size_t num_nodes() const { return n_; }
+  double total() const;
+
+  /// Every ordered pair carries `volume`.
+  static DemandMatrix uniform(std::size_t num_nodes, double volume = 1.0);
+
+  /// Gravity model: node masses drawn from a heavy-ish-tailed distribution,
+  /// demand(s,t) proportional to mass_s * mass_t, scaled so the total is
+  /// `total_volume`. Deterministic given `rng`.
+  static DemandMatrix gravity(std::size_t num_nodes, double total_volume,
+                              Rng& rng);
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;  // row-major
+};
+
+/// Per-link carried volume.
+struct LinkLoads {
+  std::vector<double> load;       ///< indexed by EdgeId
+  double unrouted = 0.0;          ///< demand with no route (disconnected)
+
+  double max_load() const;
+  double mean_load() const;
+  /// Links whose load strictly exceeds `threshold`.
+  std::size_t links_above(double threshold) const;
+};
+
+/// Routes every demand along `route(s, t)` (empty path = unroutable) and
+/// accumulates link loads. The routing function is called once per ordered
+/// pair with positive demand.
+LinkLoads route_demands(
+    const graph::Graph& g, const DemandMatrix& demands,
+    const std::function<graph::Path(graph::NodeId, graph::NodeId)>& route);
+
+}  // namespace rbpc::core

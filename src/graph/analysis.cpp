@@ -1,0 +1,190 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rbpc::graph {
+
+Components connected_components(const Graph& g, const FailureMask& mask) {
+  Components comps;
+  comps.label.assign(g.num_nodes(), Components::kNoComponent);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (!mask.node_alive(root) ||
+        comps.label[root] != Components::kNoComponent) {
+      continue;
+    }
+    const std::uint32_t id = comps.count++;
+    comps.label[root] = id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.arcs(v)) {
+        if (!mask.edge_alive(g, a.edge)) continue;
+        if (comps.label[a.to] == Components::kNoComponent) {
+          comps.label[a.to] = id;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g, const FailureMask& mask) {
+  if (g.num_nodes() == 0) return true;
+  return connected_components(g, mask).count <= 1;
+}
+
+bool connected(const Graph& g, NodeId u, NodeId v, const FailureMask& mask) {
+  require(u < g.num_nodes() && v < g.num_nodes(),
+          "connected: node out of range");
+  if (!mask.node_alive(u) || !mask.node_alive(v)) return false;
+  if (u == v) return true;
+  return connected_components(g, mask).same_component(u, v);
+}
+
+std::vector<EdgeId> find_bridges(const Graph& g, const FailureMask& mask) {
+  require(!g.directed(), "find_bridges: undirected graphs only");
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = ~0u;
+  std::vector<std::uint32_t> order(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<EdgeId> bridges;
+  std::uint32_t clock = 0;
+
+  // Iterative DFS to survive deep recursion on 40k-node graphs.
+  struct Frame {
+    NodeId node;
+    EdgeId in_edge;  // edge used to enter `node`; kInvalidEdge at roots
+    std::size_t next_arc = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (!mask.node_alive(root) || order[root] != kUnvisited) continue;
+    order[root] = low[root] = clock++;
+    stack.push_back(Frame{root, kInvalidEdge});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto arcs = g.arcs(f.node);
+      if (f.next_arc < arcs.size()) {
+        const Arc a = arcs[f.next_arc++];
+        if (!mask.edge_alive(g, a.edge) || a.edge == f.in_edge) continue;
+        if (order[a.to] == kUnvisited) {
+          order[a.to] = low[a.to] = clock++;
+          stack.push_back(Frame{a.to, a.edge});
+        } else {
+          low[f.node] = std::min(low[f.node], order[a.to]);
+        }
+      } else {
+        // Finished f.node; fold its low-link into the parent and test the
+        // tree edge for bridge-hood.
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.node] = std::min(low[parent.node], low[done.node]);
+          if (low[done.node] > order[parent.node]) {
+            bridges.push_back(done.in_edge);
+          }
+        }
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+bool is_two_edge_connected(const Graph& g, const FailureMask& mask) {
+  return is_connected(g, mask) && find_bridges(g, mask).empty();
+}
+
+namespace {
+
+/// Sorted, deduplicated neighbor lists (parallel edges collapsed).
+std::vector<std::vector<NodeId>> simple_neighbors(const Graph& g) {
+  std::vector<std::vector<NodeId>> nbrs(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& out = nbrs[v];
+    for (const Arc& a : g.arcs(v)) out.push_back(a.to);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return nbrs;
+}
+
+bool sorted_contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+double global_clustering_coefficient(const Graph& g) {
+  require(!g.directed(), "global_clustering_coefficient: undirected only");
+  const auto nbrs = simple_neighbors(g);
+  // Count closed and open connected triples centered at each node.
+  std::uint64_t triples = 0;
+  std::uint64_t closed = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& nv = nbrs[v];
+    const std::uint64_t d = nv.size();
+    if (d < 2) continue;
+    triples += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < nv.size(); ++i) {
+      for (std::size_t j = i + 1; j < nv.size(); ++j) {
+        if (sorted_contains(nbrs[nv[i]], nv[j])) ++closed;
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(triples);
+}
+
+double triangle_edge_fraction(const Graph& g) {
+  require(!g.directed(), "triangle_edge_fraction: undirected only");
+  if (g.num_edges() == 0) return 0.0;
+  const auto nbrs = simple_neighbors(g);
+  std::size_t in_triangle = 0;
+  for (const Edge& e : g.edges()) {
+    const auto& a = nbrs[e.u];
+    const auto& b = nbrs[e.v];
+    // Common neighbor via sorted-merge intersection.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    bool found = false;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) {
+        found = true;
+        break;
+      }
+      if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (found) ++in_triangle;
+  }
+  return static_cast<double>(in_triangle) / static_cast<double>(g.num_edges());
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.num_nodes() == 0) return stats;
+  stats.min = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t d = g.degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += d;
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(g.num_nodes());
+  return stats;
+}
+
+}  // namespace rbpc::graph

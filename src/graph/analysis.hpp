@@ -1,0 +1,66 @@
+// Structural analysis helpers: connectivity, components, bridges and degree
+// statistics, all failure-mask aware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+
+namespace rbpc::graph {
+
+/// Connected-component labelling (undirected reachability; for directed
+/// graphs this computes weakly connected components).
+struct Components {
+  std::vector<std::uint32_t> label;  // per node; kNoComponent for failed nodes
+  std::uint32_t count = 0;
+
+  static constexpr std::uint32_t kNoComponent = ~0u;
+
+  bool same_component(NodeId u, NodeId v) const {
+    return label[u] != kNoComponent && label[u] == label[v];
+  }
+};
+
+Components connected_components(const Graph& g,
+                                const FailureMask& mask = FailureMask::none());
+
+/// True when all alive nodes are mutually reachable.
+bool is_connected(const Graph& g, const FailureMask& mask = FailureMask::none());
+
+/// True when u and v are connected under `mask`.
+bool connected(const Graph& g, NodeId u, NodeId v,
+               const FailureMask& mask = FailureMask::none());
+
+/// Bridges: edges whose removal disconnects their component. Computed with
+/// Tarjan's low-link DFS; parallel edges are never bridges. Undirected only.
+std::vector<EdgeId> find_bridges(const Graph& g,
+                                 const FailureMask& mask = FailureMask::none());
+
+/// True when the graph has no bridges and is connected (so every single
+/// link failure is survivable) — the property ISP backbones aim for and the
+/// regime where RBPC single-failure restoration always succeeds.
+bool is_two_edge_connected(const Graph& g,
+                           const FailureMask& mask = FailureMask::none());
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / connected
+/// triples. This is the structural property behind the paper's Table-3
+/// two-hop-bypass rates, and what the synthetic topologies are calibrated
+/// on (DESIGN.md §2). Parallel edges are collapsed; undirected only.
+double global_clustering_coefficient(const Graph& g);
+
+/// Fraction of edges whose endpoints share at least one common neighbor —
+/// exactly the links with a two-hop bypass (Table 3, hopcount-2 row, under
+/// the hop metric).
+double triangle_edge_fraction(const Graph& g);
+
+}  // namespace rbpc::graph

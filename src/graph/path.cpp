@@ -1,0 +1,171 @@
+#include "graph/path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace rbpc::graph {
+
+Path Path::trivial(NodeId v) {
+  Path p;
+  p.nodes_.push_back(v);
+  return p;
+}
+
+Path Path::from_nodes(const Graph& g, const std::vector<NodeId>& nodes,
+                      const FailureMask& mask) {
+  if (nodes.empty()) return Path{};
+  Path p = Path::trivial(nodes.front());
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const NodeId from = nodes[i - 1];
+    const NodeId to = nodes[i];
+    // Minimum-weight surviving edge between the pair.
+    EdgeId best = kInvalidEdge;
+    Weight best_w = std::numeric_limits<Weight>::max();
+    for (const Arc& a : g.arcs(from)) {
+      if (a.to == to && mask.edge_alive(g, a.edge) && g.weight(a.edge) < best_w) {
+        best = a.edge;
+        best_w = g.weight(a.edge);
+      }
+    }
+    if (best == kInvalidEdge) {
+      throw NoRouteError("Path::from_nodes: no surviving edge between nodes " +
+                         std::to_string(from) + " and " + std::to_string(to));
+    }
+    p.extend(g, best, to);
+  }
+  return p;
+}
+
+Path Path::from_parts(const Graph& g, std::vector<NodeId> nodes,
+                      std::vector<EdgeId> edges) {
+  if (nodes.empty()) {
+    require(edges.empty(), "Path::from_parts: edges without nodes");
+    return Path{};
+  }
+  require(edges.size() + 1 == nodes.size(),
+          "Path::from_parts: need exactly one fewer edge than node");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = g.edge(edges[i]);
+    const bool forward = e.u == nodes[i] && e.v == nodes[i + 1];
+    const bool backward = !g.directed() && e.v == nodes[i] && e.u == nodes[i + 1];
+    require(forward || backward,
+            "Path::from_parts: edge does not join consecutive nodes");
+  }
+  Path p;
+  p.nodes_ = std::move(nodes);
+  p.edges_ = std::move(edges);
+  return p;
+}
+
+NodeId Path::source() const {
+  require(!empty(), "Path::source on empty path");
+  return nodes_.front();
+}
+
+NodeId Path::target() const {
+  require(!empty(), "Path::target on empty path");
+  return nodes_.back();
+}
+
+NodeId Path::node(std::size_t i) const {
+  require(i < nodes_.size(), "Path::node: index out of range");
+  return nodes_[i];
+}
+
+EdgeId Path::edge(std::size_t i) const {
+  require(i < edges_.size(), "Path::edge: index out of range");
+  return edges_[i];
+}
+
+Weight Path::cost(const Graph& g) const {
+  Weight total = 0;
+  for (EdgeId e : edges_) total += g.weight(e);
+  return total;
+}
+
+bool Path::alive(const Graph& g, const FailureMask& mask) const {
+  for (NodeId v : nodes_) {
+    if (!mask.node_alive(v)) return false;
+  }
+  return std::all_of(edges_.begin(), edges_.end(),
+                     [&](EdgeId e) { return mask.edge_alive(g, e); });
+}
+
+bool Path::simple() const {
+  std::unordered_set<NodeId> seen(nodes_.begin(), nodes_.end());
+  return seen.size() == nodes_.size();
+}
+
+bool Path::uses_edge(EdgeId e) const {
+  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+}
+
+bool Path::visits_node(NodeId v) const {
+  return std::find(nodes_.begin(), nodes_.end(), v) != nodes_.end();
+}
+
+void Path::extend(const Graph& g, EdgeId e, NodeId to) {
+  require(!empty(), "Path::extend on empty path");
+  const Edge& ed = g.edge(e);
+  const NodeId from = target();
+  const bool forward = ed.u == from && ed.v == to;
+  const bool backward = !g.directed() && ed.v == from && ed.u == to;
+  require(forward || backward, "Path::extend: edge does not continue the path");
+  nodes_.push_back(to);
+  edges_.push_back(e);
+}
+
+Path Path::concat(const Path& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  require(target() == other.source(),
+          "Path::concat: second path must start where the first ends");
+  Path out = *this;
+  out.nodes_.insert(out.nodes_.end(), other.nodes_.begin() + 1,
+                    other.nodes_.end());
+  out.edges_.insert(out.edges_.end(), other.edges_.begin(), other.edges_.end());
+  return out;
+}
+
+Path Path::subpath(std::size_t from, std::size_t to) const {
+  require(from <= to && to < nodes_.size(), "Path::subpath: bad range");
+  Path out;
+  out.nodes_.assign(nodes_.begin() + static_cast<std::ptrdiff_t>(from),
+                    nodes_.begin() + static_cast<std::ptrdiff_t>(to) + 1);
+  out.edges_.assign(edges_.begin() + static_cast<std::ptrdiff_t>(from),
+                    edges_.begin() + static_cast<std::ptrdiff_t>(to));
+  return out;
+}
+
+Path Path::prefix_hops(std::size_t hops) const {
+  require(hops <= edges_.size(), "Path::prefix_hops: too many hops");
+  return subpath(0, hops);
+}
+
+Path Path::suffix_from(std::size_t from) const {
+  require(from < nodes_.size(), "Path::suffix_from: index out of range");
+  return subpath(from, nodes_.size() - 1);
+}
+
+Path Path::reversed() const {
+  Path out = *this;
+  std::reverse(out.nodes_.begin(), out.nodes_.end());
+  std::reverse(out.edges_.begin(), out.edges_.end());
+  return out;
+}
+
+std::string Path::to_string() const {
+  if (empty()) return "(no route)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i) os << " -> ";
+    os << nodes_[i];
+  }
+  return os.str();
+}
+
+}  // namespace rbpc::graph

@@ -1,0 +1,26 @@
+// Fundamental identifier and weight types shared by all graph code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rbpc::graph {
+
+/// Dense 0-based node identifier.
+using NodeId = std::uint32_t;
+/// Dense 0-based edge identifier (index into the graph's edge list).
+using EdgeId = std::uint32_t;
+
+/// Link weight / path cost. Integer fixed-point so that comparisons are
+/// exact and ties are well-defined (see DESIGN.md §5.4). OSPF-style weights
+/// are represented directly; hop-count metrics use weight 1 per edge.
+using Weight = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel distance for unreachable nodes. Chosen far below the int64 max
+/// so that adding any single edge weight cannot overflow.
+inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::max() / 4;
+
+}  // namespace rbpc::graph

@@ -1,0 +1,37 @@
+#include "lsdb/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace rbpc::lsdb {
+
+void EventQueue::schedule(SimTime delay, std::function<void()> fn) {
+  require(delay >= 0.0, "EventQueue::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+  require(when >= now_, "EventQueue::schedule_at: time in the past");
+  heap_.push(Item{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Item item = heap_.top();
+  heap_.pop();
+  now_ = item.when;
+  item.fn();
+  return true;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rbpc::lsdb

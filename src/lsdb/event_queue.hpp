@@ -1,0 +1,52 @@
+// Minimal discrete-event simulation core.
+//
+// Deterministic: events at equal times fire in scheduling order (a
+// monotonically increasing sequence number breaks ties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rbpc::lsdb {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay. Precondition: delay >= 0.
+  void schedule(SimTime delay, std::function<void()> fn);
+  /// Schedules at an absolute time >= now().
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false when none remain.
+  bool step();
+  /// Runs events until the queue drains.
+  void run_all();
+  /// Runs events with time <= deadline; clock ends at
+  /// max(now, min(deadline, last-event time)).
+  void run_until(SimTime deadline);
+
+ private:
+  struct Item {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rbpc::lsdb

@@ -1,0 +1,73 @@
+#include "lsdb/lsdb.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rbpc::lsdb {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+void Lsdb::apply(const LinkEvent& ev) {
+  if (ev.up) {
+    view_.restore_edge(ev.edge);
+  } else {
+    view_.fail_edge(ev.edge);
+  }
+}
+
+bool Lsdb::knows_down(EdgeId e) const { return view_.edge_failed(e); }
+
+FloodOutcome flood_notification_times(const graph::Graph& g,
+                                      const graph::FailureMask& mask_after,
+                                      EdgeId e, SimTime t0,
+                                      const FloodParams& params) {
+  require(e < g.num_edges(), "flood_notification_times: edge out of range");
+  constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+  FloodOutcome out;
+  out.notified_at.assign(g.num_nodes(), kInf);
+
+  // Dijkstra over (link_delay + process_delay) from both endpoints.
+  using Item = std::pair<SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  const graph::Edge& ed = g.edge(e);
+  for (NodeId origin : {ed.u, ed.v}) {
+    if (!mask_after.node_alive(origin)) continue;
+    const SimTime start = t0 + params.detect_delay;
+    if (start < out.notified_at[origin]) {
+      out.notified_at[origin] = start;
+      heap.push({start, origin});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [t, v] = heap.top();
+    heap.pop();
+    if (t != out.notified_at[v]) continue;
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask_after.edge_alive(g, a.edge)) continue;
+      const SimTime arrival = t + params.process_delay + params.link_delay;
+      if (arrival < out.notified_at[a.to]) {
+        out.notified_at[a.to] = arrival;
+        heap.push({arrival, a.to});
+      }
+    }
+  }
+  return out;
+}
+
+void schedule_flood(EventQueue& queue, const graph::Graph& g,
+                    const graph::FailureMask& mask_after, LinkEvent event,
+                    const FloodParams& params,
+                    std::function<void(NodeId, const LinkEvent&)> on_notified) {
+  const FloodOutcome outcome = flood_notification_times(
+      g, mask_after, event.edge, queue.now(), params);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const SimTime when = outcome.notified_at[v];
+    if (when == std::numeric_limits<SimTime>::infinity()) continue;
+    queue.schedule_at(when, [v, event, on_notified] { on_notified(v, event); });
+  }
+}
+
+}  // namespace rbpc::lsdb

@@ -1,0 +1,71 @@
+// Link-state databases and the failure-notification flood.
+//
+// The paper's schemes differ in *when* a router learns of a failure: the
+// adjacent router detects it immediately (local RBPC), while the source
+// router waits for the link-state protocol to flood the LSA (source RBPC).
+// FloodSim models that propagation: an LSA originates at both endpoints of
+// the failed link and travels hop-by-hop over surviving links with a fixed
+// per-link delay plus a per-router processing delay, which is all the
+// hybrid scheme's timeline depends on.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "lsdb/event_queue.hpp"
+
+namespace rbpc::lsdb {
+
+/// A topology-change announcement.
+struct LinkEvent {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  bool up = false;  ///< false = failure, true = recovery
+};
+
+/// One router's view of which links are currently down. Each router applies
+/// the LSAs it has received; views therefore lag reality during floods.
+class Lsdb {
+ public:
+  void apply(const LinkEvent& ev);
+  bool knows_down(graph::EdgeId e) const;
+  /// The router's current (possibly stale) failure view.
+  const graph::FailureMask& view() const { return view_; }
+
+ private:
+  graph::FailureMask view_;
+};
+
+struct FloodParams {
+  SimTime link_delay = 1.0;     ///< LSA propagation per link
+  SimTime process_delay = 0.1;  ///< per-router LSA processing before re-flood
+  SimTime detect_delay = 0.0;   ///< failure detection at the adjacent routers
+};
+
+/// Per-router notification times for one link event.
+struct FloodOutcome {
+  /// notified_at[v] is the simulation time router v applied the LSA;
+  /// +infinity when the flood cannot reach v (v disconnected).
+  std::vector<SimTime> notified_at;
+};
+
+/// Computes when each router learns that `e` changed state, flooding from
+/// both endpoints at `t0` over links surviving `mask_after` (which should
+/// already reflect the failure itself). Implemented as a delay-metric
+/// Dijkstra — equivalent to running the hop-by-hop flood to quiescence.
+FloodOutcome flood_notification_times(const graph::Graph& g,
+                                      const graph::FailureMask& mask_after,
+                                      graph::EdgeId e, SimTime t0,
+                                      const FloodParams& params = {});
+
+/// Event-driven variant: schedules per-router `on_notified(router, event)`
+/// callbacks on `queue`. Used by the hybrid-RBPC example to interleave the
+/// flood with traffic.
+void schedule_flood(EventQueue& queue, const graph::Graph& g,
+                    const graph::FailureMask& mask_after, LinkEvent event,
+                    const FloodParams& params,
+                    std::function<void(graph::NodeId, const LinkEvent&)>
+                        on_notified);
+
+}  // namespace rbpc::lsdb

@@ -1,0 +1,42 @@
+#include "mpls/label.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rbpc::mpls {
+
+Label LabelStack::top() const {
+  require(!labels_.empty(), "LabelStack::top on empty stack");
+  return labels_.back();
+}
+
+void LabelStack::push(Label l) {
+  require(l != kInvalidLabel, "LabelStack::push: invalid label");
+  labels_.push_back(l);
+}
+
+Label LabelStack::pop() {
+  require(!labels_.empty(), "LabelStack::pop on empty stack");
+  const Label l = labels_.back();
+  labels_.pop_back();
+  return l;
+}
+
+void LabelStack::push_bottom_first(const std::vector<Label>& labels) {
+  for (Label l : labels) push(l);
+}
+
+std::string LabelStack::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  // Print top first, as a router would examine them.
+  for (auto it = labels_.rbegin(); it != labels_.rend(); ++it) {
+    if (it != labels_.rbegin()) os << ' ';
+    os << *it;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace rbpc::mpls

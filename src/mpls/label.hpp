@@ -1,0 +1,42 @@
+// MPLS label primitives.
+//
+// Labels are per-router (each LSR allocates from its own label space, as
+// with downstream label assignment in real MPLS). A LabelStack models the
+// label stack carried in packet headers; the *back* of the vector is the
+// top of the stack (the label examined by the next LSR).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rbpc::mpls {
+
+using Label = std::uint32_t;
+inline constexpr Label kInvalidLabel = ~0u;
+
+class LabelStack {
+ public:
+  bool empty() const { return labels_.empty(); }
+  std::size_t depth() const { return labels_.size(); }
+
+  /// Label examined by the current router. Precondition: !empty().
+  Label top() const;
+
+  void push(Label l);
+  /// Precondition: !empty().
+  Label pop();
+
+  /// Pushes `labels` bottom-first (labels.front() ends up deepest;
+  /// labels.back() becomes the new top).
+  void push_bottom_first(const std::vector<Label>& labels);
+
+  const std::vector<Label>& raw() const { return labels_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Label> labels_;  // back = top of stack
+};
+
+}  // namespace rbpc::mpls

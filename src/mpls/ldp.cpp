@@ -1,0 +1,24 @@
+#include "mpls/ldp.hpp"
+
+#include "util/error.hpp"
+
+namespace rbpc::mpls {
+
+lsdb::SimTime lsp_setup_time(const graph::Path& path, const LdpParams& params) {
+  require(!path.empty(), "lsp_setup_time: empty path");
+  const auto hops = static_cast<double>(path.hops());
+  const lsdb::SimTime request_leg =
+      hops * (params.link_delay + params.process_delay + params.loop_check_delay);
+  const lsdb::SimTime mapping_leg =
+      hops * (params.link_delay + params.process_delay);
+  return request_leg + mapping_leg;
+}
+
+lsdb::SimTime resignal_restoration_time(lsdb::SimTime notify_time,
+                                        const graph::Path& new_path,
+                                        const LdpParams& params) {
+  require(!new_path.empty(), "resignal_restoration_time: empty path");
+  return notify_time + params.process_delay + lsp_setup_time(new_path, params);
+}
+
+}  // namespace rbpc::mpls

@@ -1,0 +1,44 @@
+// LDP-style signalling cost model.
+//
+// The paper's motivation: "when a link along the LSP fails, a new LSP must
+// be established and the old LSP torn down, which can introduce
+// considerable overhead and delay". This module quantifies that delay for
+// the tear-down/re-signal design so the latency benches can compare it with
+// RBPC (which needs no signalling at all — only failure notification).
+//
+// Model (ordered downstream-on-demand label distribution, RFC 3036 shape):
+// a label REQUEST travels hop-by-hop from the ingress to the egress, each
+// LSR spending `process_delay`; a label MAPPING then travels back, again
+// with per-hop processing; only when the mapping reaches the ingress is the
+// LSP usable. Tear-down of the broken LSP proceeds in parallel and does not
+// gate restoration. Loop-detection path-vector processing is modeled as an
+// additional per-hop cost on the request leg.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "lsdb/event_queue.hpp"
+
+namespace rbpc::mpls {
+
+struct LdpParams {
+  lsdb::SimTime link_delay = 1.0;      ///< one-way message latency per link
+  lsdb::SimTime process_delay = 0.2;   ///< per-LSR message handling
+  lsdb::SimTime loop_check_delay = 0.1;  ///< path-vector loop prevention per
+                                         ///< hop on the request leg
+};
+
+/// Time to establish an LSP along `path` from scratch: request leg +
+/// mapping leg. A path of h hops costs
+///   h*(link+proc+loop) + h*(link+proc)
+/// (the ingress's own processing is counted once on each leg).
+lsdb::SimTime lsp_setup_time(const graph::Path& path, const LdpParams& params);
+
+/// Restoration latency of the tear-down/re-establish design for a source
+/// router that learned of the failure at `notify_time`: SPF recomputation is
+/// folded into process_delay; the new LSP must then be signalled end to end.
+lsdb::SimTime resignal_restoration_time(lsdb::SimTime notify_time,
+                                        const graph::Path& new_path,
+                                        const LdpParams& params);
+
+}  // namespace rbpc::mpls

@@ -1,0 +1,44 @@
+// Packets and forwarding outcomes for the MPLS simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "mpls/label.hpp"
+
+namespace rbpc::mpls {
+
+struct Packet {
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  graph::NodeId at = graph::kInvalidNode;  ///< current router
+  LabelStack stack;
+  int ttl = 255;
+  /// Routers visited, in order (including src; updated on each hop).
+  std::vector<graph::NodeId> trace;
+};
+
+enum class ForwardStatus {
+  Delivered,      ///< reached dst with an empty stack
+  NoFecEntry,     ///< ingress had no FEC entry for dst
+  UnknownLabel,   ///< a router had no ILM entry for the top label
+  LinkDown,       ///< an ILM entry pointed at a failed link
+  TtlExpired,     ///< loop guard fired
+  StackUnderflow  ///< stack emptied at a router other than dst
+};
+
+struct ForwardResult {
+  ForwardStatus status = ForwardStatus::Delivered;
+  /// Router at which forwarding stopped.
+  graph::NodeId stopped_at = graph::kInvalidNode;
+  /// Total links traversed.
+  std::size_t hops = 0;
+  std::vector<graph::NodeId> trace;
+
+  bool delivered() const { return status == ForwardStatus::Delivered; }
+};
+
+std::string to_string(ForwardStatus s);
+
+}  // namespace rbpc::mpls

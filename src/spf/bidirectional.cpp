@@ -1,0 +1,115 @@
+#include "spf/bidirectional.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Path;
+using graph::Weight;
+
+BidirResult bidirectional_shortest_path(const graph::Graph& g, NodeId s,
+                                        NodeId t,
+                                        const graph::FailureMask& mask,
+                                        Metric metric) {
+  require(!g.directed(), "bidirectional_shortest_path: undirected only");
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "bidirectional_shortest_path: node out of range");
+  require(s != t, "bidirectional_shortest_path: endpoints must differ");
+  require(mask.node_alive(s) && mask.node_alive(t),
+          "bidirectional_shortest_path: endpoint router is failed");
+
+  constexpr int kFwd = 0;
+  constexpr int kBwd = 1;
+  const Weight inf = graph::kUnreachable;
+
+  std::vector<Weight> dist[2] = {
+      std::vector<Weight>(g.num_nodes(), inf),
+      std::vector<Weight>(g.num_nodes(), inf)};
+  std::vector<NodeId> parent[2] = {
+      std::vector<NodeId>(g.num_nodes(), graph::kInvalidNode),
+      std::vector<NodeId>(g.num_nodes(), graph::kInvalidNode)};
+  std::vector<EdgeId> parent_edge[2] = {
+      std::vector<EdgeId>(g.num_nodes(), graph::kInvalidEdge),
+      std::vector<EdgeId>(g.num_nodes(), graph::kInvalidEdge)};
+  std::vector<bool> settled[2] = {std::vector<bool>(g.num_nodes(), false),
+                                  std::vector<bool>(g.num_nodes(), false)};
+
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap[2];
+  dist[kFwd][s] = 0;
+  dist[kBwd][t] = 0;
+  heap[kFwd].push({0, s});
+  heap[kBwd].push({0, t});
+
+  Weight best = inf;
+  NodeId meet = graph::kInvalidNode;
+  std::size_t settled_count = 0;
+
+  auto top_key = [&](int side) {
+    return heap[side].empty() ? inf : heap[side].top().first;
+  };
+
+  while (!heap[kFwd].empty() || !heap[kBwd].empty()) {
+    // Standard termination: once the two frontiers together exceed the best
+    // meeting cost, no better route exists.
+    if (top_key(kFwd) + top_key(kBwd) >= best) break;
+    const int side = top_key(kFwd) <= top_key(kBwd) ? kFwd : kBwd;
+
+    const auto [d, v] = heap[side].top();
+    heap[side].pop();
+    if (settled[side][v] || d != dist[side][v]) continue;
+    settled[side][v] = true;
+    ++settled_count;
+
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge) || settled[side][a.to]) continue;
+      const Weight alt = d + metric_weight(g, a.edge, metric);
+      if (alt < dist[side][a.to]) {
+        dist[side][a.to] = alt;
+        parent[side][a.to] = v;
+        parent_edge[side][a.to] = a.edge;
+        heap[side].push({alt, a.to});
+      }
+      // Candidate meeting point.
+      const int other = 1 - side;
+      if (dist[other][a.to] != inf && alt + dist[other][a.to] < best) {
+        best = alt + dist[other][a.to];
+        meet = a.to;
+      }
+    }
+  }
+
+  BidirResult out;
+  out.settled = settled_count;
+  if (best == inf) {
+    out.cost = inf;
+    return out;
+  }
+  out.cost = best;
+
+  // Stitch: s -> meet (forward parents) + meet -> t (backward parents).
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  for (NodeId v = meet; v != s; v = parent[kFwd][v]) {
+    nodes.push_back(v);
+    edges.push_back(parent_edge[kFwd][v]);
+  }
+  nodes.push_back(s);
+  std::reverse(nodes.begin(), nodes.end());
+  std::reverse(edges.begin(), edges.end());
+  for (NodeId v = meet; v != t; v = parent[kBwd][v]) {
+    const NodeId next = parent[kBwd][v];
+    nodes.push_back(next);
+    edges.push_back(parent_edge[kBwd][v]);
+  }
+  out.path = Path::from_parts(g, std::move(nodes), std::move(edges));
+  return out;
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,32 @@
+// Bidirectional Dijkstra for single-pair queries.
+//
+// The restoration hot path (source RBPC, bypass computation, Figure-10
+// comparisons) issues single-pair queries; bidirectional search typically
+// settles far fewer nodes than a one-sided run on mesh-like networks.
+// Undirected graphs only (the paper's setting). Results agree exactly with
+// spf::shortest_path in cost; the returned path is deterministic but may
+// differ from the one-sided tie-breaking (use padded=false plain queries
+// when route identity matters).
+#pragma once
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::spf {
+
+struct BidirResult {
+  graph::Path path;             ///< empty when disconnected
+  graph::Weight cost = 0;       ///< kUnreachable when disconnected
+  std::size_t settled = 0;      ///< nodes settled by both searches
+};
+
+/// Min-cost s-t route over the surviving network. Precondition: s != t,
+/// both alive, undirected graph.
+BidirResult bidirectional_shortest_path(
+    const graph::Graph& g, graph::NodeId s, graph::NodeId t,
+    const graph::FailureMask& mask = graph::FailureMask::none(),
+    Metric metric = Metric::Weighted);
+
+}  // namespace rbpc::spf

@@ -1,0 +1,16 @@
+#include "spf/bypass.hpp"
+
+#include "spf/spf.hpp"
+
+namespace rbpc::spf {
+
+graph::Path min_cost_bypass(const graph::Graph& g, graph::EdgeId e,
+                            const graph::FailureMask& mask, Metric metric) {
+  graph::FailureMask scenario = mask;
+  scenario.fail_edge(e);
+  const graph::Edge& edge = g.edge(e);
+  return shortest_path(g, edge.u, edge.v, scenario,
+                       SpfOptions{.metric = metric});
+}
+
+}  // namespace rbpc::spf

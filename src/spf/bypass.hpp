@@ -1,0 +1,22 @@
+// Minimum-cost bypass of a single link: the shortest route between the
+// link's endpoints once that link has failed. This is the primitive behind
+// the paper's edge-bypass local RBPC (Section 6) and Table 3.
+#pragma once
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::spf {
+
+/// The min-cost path from e.u to e.v in the network with `e` failed (on top
+/// of any failures already in `mask`). Returns the empty path when the
+/// failure disconnects the endpoints (e was a bridge). Note a surviving
+/// parallel twin of `e` yields a one-hop "bypass", matching the paper's
+/// parallel-link discussion.
+graph::Path min_cost_bypass(const graph::Graph& g, graph::EdgeId e,
+                            const graph::FailureMask& mask = graph::FailureMask::none(),
+                            Metric metric = Metric::Weighted);
+
+}  // namespace rbpc::spf

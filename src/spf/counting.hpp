@@ -1,0 +1,35 @@
+// Counting distinct shortest paths — the paper's "Redundancy (max)" column
+// reports the maximum number of distinct shortest paths between any two
+// routers, which indicates how expensive representing *all* shortest paths
+// would be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "spf/metric.hpp"
+#include "spf/tree.hpp"
+
+namespace rbpc::spf {
+
+/// Path counts saturate at this value instead of overflowing (counts can be
+/// exponential in pathological graphs).
+inline constexpr std::uint64_t kCountSaturated = ~0ull;
+
+/// Number of distinct shortest s->v paths for every v, computed by dynamic
+/// programming over the shortest-path DAG (distinct parallel edges count as
+/// distinct paths). Saturating arithmetic.
+std::vector<std::uint64_t> count_shortest_paths(
+    const graph::Graph& g, graph::NodeId source,
+    const graph::FailureMask& mask = graph::FailureMask::none(),
+    Metric metric = Metric::Weighted);
+
+/// Convenience single-pair count (0 when unreachable).
+std::uint64_t count_shortest_paths_pair(
+    const graph::Graph& g, graph::NodeId s, graph::NodeId t,
+    const graph::FailureMask& mask = graph::FailureMask::none(),
+    Metric metric = Metric::Weighted);
+
+}  // namespace rbpc::spf

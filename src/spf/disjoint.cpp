@@ -1,0 +1,270 @@
+#include "spf/disjoint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+using graph::Weight;
+
+graph::Weight DisjointPair::total_cost(const Graph& g) const {
+  return primary.cost(g) + secondary.cost(g);
+}
+
+namespace {
+
+/// Internal link model for the Bhandari engine. A link joins `a` to `b`
+/// with cost `w`; undirected links may be traversed both ways. `edge` maps
+/// back to the original graph (kInvalidEdge for node-splitting internals).
+struct Link {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  Weight w = 0;
+  bool directed = false;
+  EdgeId edge = graph::kInvalidEdge;
+};
+
+/// A traversal of link `idx`: forward means a -> b.
+struct Step {
+  std::size_t idx = 0;
+  bool forward = true;
+};
+
+constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+
+/// Shortest path over links; `used_dir[i]` encodes the residual state from
+/// the first path: 0 = untouched, +1 = used forward (reverse traversal now
+/// costs -w, forward forbidden), -1 = used backward. When `allow_negative`,
+/// a queue-based label-correcting search (SPFA) handles the negative
+/// residual arcs; otherwise plain Dijkstra.
+std::vector<Step> find_path(std::size_t num_nodes, const std::vector<Link>& links,
+                            std::uint32_t s, std::uint32_t t,
+                            const std::vector<int>& used_dir,
+                            bool allow_negative) {
+  // Adjacency: per node, (link index, forward?).
+  std::vector<std::vector<Step>> out(num_nodes);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const Link& l = links[i];
+    const int used = used_dir.empty() ? 0 : used_dir[i];
+    // Forward traversal a -> b allowed unless the link was already used
+    // forward; cost is -w when undoing a backward use.
+    if (used != 1) out[l.a].push_back(Step{i, true});
+    // Backward traversal b -> a only for undirected links or as the
+    // residual reversal of a forward use.
+    if (used != -1 && (!l.directed || used == 1)) {
+      out[l.b].push_back(Step{i, false});
+    }
+  }
+  auto step_cost = [&](const Step& st) -> Weight {
+    const int used = used_dir.empty() ? 0 : used_dir[st.idx];
+    const bool undoing = (used == 1 && !st.forward) || (used == -1 && st.forward);
+    return undoing ? -links[st.idx].w : links[st.idx].w;
+  };
+
+  std::vector<Weight> dist(num_nodes, kInf);
+  std::vector<Step> via(num_nodes);
+  std::vector<std::uint32_t> pred(num_nodes, ~0u);
+  dist[s] = 0;
+
+  if (allow_negative) {
+    std::deque<std::uint32_t> queue{s};
+    std::vector<bool> in_queue(num_nodes, false);
+    in_queue[s] = true;
+    std::size_t relaxations = 0;
+    const std::size_t limit = num_nodes * links.size() * 2 + 16;
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop_front();
+      in_queue[v] = false;
+      for (const Step& st : out[v]) {
+        const std::uint32_t to = st.forward ? links[st.idx].b : links[st.idx].a;
+        const Weight alt = dist[v] + step_cost(st);
+        if (alt < dist[to]) {
+          RBPC_ASSERT(++relaxations < limit);  // no negative cycles exist
+          dist[to] = alt;
+          via[to] = st;
+          pred[to] = v;
+          if (!in_queue[to]) {
+            queue.push_back(to);
+            in_queue[to] = true;
+          }
+        }
+      }
+    }
+  } else {
+    using Item = std::pair<Weight, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0, s});
+    std::vector<bool> settled(num_nodes, false);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (settled[v]) continue;
+      settled[v] = true;
+      if (v == t) break;
+      for (const Step& st : out[v]) {
+        const std::uint32_t to = st.forward ? links[st.idx].b : links[st.idx].a;
+        const Weight alt = d + step_cost(st);
+        if (alt < dist[to]) {
+          dist[to] = alt;
+          via[to] = st;
+          pred[to] = v;
+          heap.push({alt, to});
+        }
+      }
+    }
+  }
+
+  if (dist[t] == kInf) return {};
+  std::vector<Step> path;
+  for (std::uint32_t v = t; v != s; v = pred[v]) path.push_back(via[v]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Runs the full Bhandari procedure; returns the two link-level paths
+/// (either may be empty). Directions in the results are traversal
+/// directions after cancellation.
+std::pair<std::vector<Step>, std::vector<Step>> two_disjoint(
+    std::size_t num_nodes, const std::vector<Link>& links, std::uint32_t s,
+    std::uint32_t t) {
+  const std::vector<Step> p1 =
+      find_path(num_nodes, links, s, t, {}, /*allow_negative=*/false);
+  if (p1.empty()) return {{}, {}};
+
+  std::vector<int> used_dir(links.size(), 0);
+  for (const Step& st : p1) used_dir[st.idx] = st.forward ? 1 : -1;
+
+  const std::vector<Step> p2 =
+      find_path(num_nodes, links, s, t, used_dir, /*allow_negative=*/true);
+  if (p2.empty()) return {p1, {}};
+
+  // Cancellation: a link traversed by p2 opposite to p1 drops out of both.
+  std::vector<int> net(links.size(), 0);  // +1 forward, -1 backward, 0 unused
+  for (const Step& st : p1) net[st.idx] += st.forward ? 1 : -1;
+  for (const Step& st : p2) net[st.idx] += st.forward ? 1 : -1;
+
+  // The surviving directed links form a 2-unit s->t flow; peel off two
+  // paths by walking from s and consuming links.
+  std::vector<std::vector<Step>> avail(num_nodes);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (net[i] == 1) avail[links[i].a].push_back(Step{i, true});
+    if (net[i] == -1) avail[links[i].b].push_back(Step{i, false});
+  }
+  auto peel = [&]() {
+    std::vector<Step> path;
+    std::uint32_t v = s;
+    while (v != t) {
+      RBPC_ASSERT(!avail[v].empty());
+      const Step st = avail[v].back();
+      avail[v].pop_back();
+      path.push_back(st);
+      v = st.forward ? links[st.idx].b : links[st.idx].a;
+    }
+    return path;
+  };
+  return {peel(), peel()};
+}
+
+/// Converts a link-level path to a graph Path, skipping node-splitting
+/// internals. `node_of` maps engine node ids back to graph nodes.
+Path to_graph_path(const Graph& g, NodeId s, const std::vector<Link>& links,
+                   const std::vector<Step>& steps,
+                   const std::vector<NodeId>& node_of) {
+  Path p = Path::trivial(s);
+  for (const Step& st : steps) {
+    const Link& l = links[st.idx];
+    if (l.edge == graph::kInvalidEdge) continue;  // splitting internal
+    const std::uint32_t head = st.forward ? l.b : l.a;
+    p.extend(g, l.edge, node_of[head]);
+  }
+  return p;
+}
+
+/// Orders the pair so the cheaper path is primary.
+DisjointPair finalize(const Graph& g, Path x, Path y) {
+  DisjointPair out;
+  if (!y.empty() && y.cost(g) < x.cost(g)) std::swap(x, y);
+  out.primary = std::move(x);
+  out.secondary = std::move(y);
+  return out;
+}
+
+}  // namespace
+
+DisjointPair edge_disjoint_pair(const Graph& g, NodeId s, NodeId t,
+                                const FailureMask& mask, Metric metric) {
+  require(!g.directed(), "edge_disjoint_pair: undirected graphs only");
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "edge_disjoint_pair: node out of range");
+  require(s != t, "edge_disjoint_pair: endpoints must differ");
+  require(mask.node_alive(s) && mask.node_alive(t),
+          "edge_disjoint_pair: endpoint router is failed");
+
+  std::vector<Link> links;
+  links.reserve(g.num_edges());
+  std::vector<NodeId> node_of(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_of[v] = v;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!mask.edge_alive(g, e)) continue;
+    const auto& ed = g.edge(e);
+    links.push_back(Link{ed.u, ed.v, metric_weight(g, e, metric), false, e});
+  }
+  auto [a, b] = two_disjoint(g.num_nodes(), links, s, t);
+  if (a.empty()) return {};
+  return finalize(g, to_graph_path(g, s, links, a, node_of),
+                  b.empty() ? Path{} : to_graph_path(g, s, links, b, node_of));
+}
+
+DisjointPair node_disjoint_pair(const Graph& g, NodeId s, NodeId t,
+                                const FailureMask& mask, Metric metric) {
+  require(!g.directed(), "node_disjoint_pair: undirected graphs only");
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "node_disjoint_pair: node out of range");
+  require(s != t, "node_disjoint_pair: endpoints must differ");
+  require(mask.node_alive(s) && mask.node_alive(t),
+          "node_disjoint_pair: endpoint router is failed");
+
+  // Node splitting: v -> v_in (2v), v_out (2v+1); edges join v_out to
+  // u_in; every alive node gets a directed internal link in -> out of cost
+  // 0 that the residual pass can reverse (that reversal is what enforces
+  // node-disjointness).
+  const auto in_id = [](NodeId v) { return static_cast<std::uint32_t>(2 * v); };
+  const auto out_id = [](NodeId v) {
+    return static_cast<std::uint32_t>(2 * v + 1);
+  };
+  std::vector<Link> links;
+  std::vector<NodeId> node_of(2 * g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    node_of[in_id(v)] = v;
+    node_of[out_id(v)] = v;
+    if (!mask.node_alive(v)) continue;
+    links.push_back(Link{in_id(v), out_id(v), 0, true, graph::kInvalidEdge});
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!mask.edge_alive(g, e)) continue;
+    const auto& ed = g.edge(e);
+    const Weight w = metric_weight(g, e, metric);
+    // Undirected edge: usable out(u) -> in(v) and out(v) -> in(u); model as
+    // two directed links sharing the edge id (the residual pass treats each
+    // independently; edge-disjointness follows from node-disjointness).
+    links.push_back(Link{out_id(ed.u), in_id(ed.v), w, true, e});
+    links.push_back(Link{out_id(ed.v), in_id(ed.u), w, true, e});
+  }
+  auto [a, b] = two_disjoint(2 * g.num_nodes(), links, out_id(s), in_id(t));
+  if (a.empty()) return {};
+  return finalize(g, to_graph_path(g, s, links, a, node_of),
+                  b.empty() ? Path{} : to_graph_path(g, s, links, b, node_of));
+}
+
+}  // namespace rbpc::spf

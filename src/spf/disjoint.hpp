@@ -1,0 +1,52 @@
+// Shortest pairs of disjoint paths (Suurballe / Bhandari).
+//
+// The paper contrasts RBPC with restoration schemes that pre-provision a
+// small number of disjoint backup paths per pair and accept non-shortest
+// restoration routes (its refs [16], [3]). This module provides that
+// baseline: the minimum-total-cost pair of edge-disjoint (optionally
+// node-disjoint) s-t paths, computed with Bhandari's variant of Suurballe's
+// algorithm (shortest path, then a second shortest path in the residual
+// graph where the first path's arcs are reversed with negated weights, then
+// cancellation of overlapping arcs).
+#pragma once
+
+#include <utility>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::spf {
+
+struct DisjointPair {
+  /// The cheaper of the two paths after recombination; empty when s and t
+  /// are disconnected.
+  graph::Path primary;
+  /// The second, disjoint path; empty when no disjoint pair exists (the
+  /// primary is then simply the shortest path).
+  graph::Path secondary;
+
+  bool connected() const { return !primary.empty(); }
+  bool has_pair() const { return !secondary.empty(); }
+  /// Combined cost of both paths (the quantity Suurballe minimizes).
+  graph::Weight total_cost(const graph::Graph& g) const;
+};
+
+/// Minimum-total-cost pair of edge-disjoint s-t paths over the surviving
+/// network. The pair minimizes cost(primary) + cost(secondary) among all
+/// edge-disjoint pairs; NOTE the primary is therefore not always the
+/// overall shortest path. Undirected graphs only.
+DisjointPair edge_disjoint_pair(const graph::Graph& g, graph::NodeId s,
+                                graph::NodeId t,
+                                const graph::FailureMask& mask = graph::FailureMask::none(),
+                                Metric metric = Metric::Weighted);
+
+/// As above but the two paths share no intermediate node either
+/// (node-disjoint), via the standard node-splitting reduction.
+DisjointPair node_disjoint_pair(const graph::Graph& g, graph::NodeId s,
+                                graph::NodeId t,
+                                const graph::FailureMask& mask = graph::FailureMask::none(),
+                                Metric metric = Metric::Weighted);
+
+}  // namespace rbpc::spf

@@ -1,0 +1,14 @@
+#include "spf/metric.hpp"
+
+#include "util/rng.hpp"
+
+namespace rbpc::spf {
+
+graph::Weight padding_salt(graph::EdgeId e) {
+  // SplitMix64 of the edge id; fixed basis so salts are stable across runs.
+  std::uint64_t s = 0xA5A5A5A55A5A5A5Aull ^ (static_cast<std::uint64_t>(e) + 1);
+  const std::uint64_t mixed = splitmix64(s);
+  return static_cast<graph::Weight>(mixed % static_cast<std::uint64_t>(kMaxSalt)) + 1;
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,44 @@
+// Routing metrics and the deterministic "infinitesimal padding" used to
+// realize Theorem 3's unique-shortest-path base sets.
+//
+// The paper selects a single shortest path per pair by padding edge weights
+// with infinitesimals. We realize the padding with integers: each edge gets
+// an augmented weight  w(e) * kPadScale + salt(e)  where salt(e) is a
+// deterministic pseudo-random value in [1, kMaxSalt]. Because any path has
+// fewer than kPadScale / kMaxSalt hops, a strictly cheaper true cost is
+// always strictly cheaper after padding — so padded-shortest paths are
+// true shortest paths, and ties are broken (generically uniquely) by salt.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace rbpc::spf {
+
+/// Which cost a route minimizes.
+enum class Metric {
+  Hops,      ///< every link costs 1 (the paper's "unweighted" case)
+  Weighted,  ///< link weights (the paper's OSPF-weight case)
+};
+
+inline constexpr graph::Weight kPadScale = 1 << 30;
+inline constexpr graph::Weight kMaxSalt = 1 << 14;
+
+/// True cost of one edge under `metric`.
+inline graph::Weight metric_weight(const graph::Graph& g, graph::EdgeId e,
+                                   Metric metric) {
+  return metric == Metric::Hops ? 1 : g.weight(e);
+}
+
+/// Deterministic per-edge padding salt in [1, kMaxSalt].
+graph::Weight padding_salt(graph::EdgeId e);
+
+/// Augmented (padded) cost of one edge under `metric`.
+inline graph::Weight padded_weight(const graph::Graph& g, graph::EdgeId e,
+                                   Metric metric) {
+  return metric_weight(g, e, metric) * kPadScale + padding_salt(e);
+}
+
+}  // namespace rbpc::spf

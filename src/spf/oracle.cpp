@@ -1,0 +1,97 @@
+#include "spf/oracle.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+DistanceOracle::DistanceOracle(const graph::Graph& g, graph::FailureMask mask,
+                               Metric metric, std::size_t max_cached_trees)
+    : g_(g),
+      mask_(std::move(mask)),
+      metric_(metric),
+      max_cached_(max_cached_trees) {}
+
+const ShortestPathTree& DistanceOracle::get(Cache& cache, graph::NodeId u,
+                                            bool padded) {
+  auto it = cache.slots.find(u);
+  if (it == cache.slots.end()) {
+    if (max_cached_ != 0 && cache.slots.size() >= max_cached_) {
+      // Evict the least recently used tree.
+      auto victim = std::min_element(
+          cache.slots.begin(), cache.slots.end(),
+          [](const auto& a, const auto& b) {
+            return a.second.last_used < b.second.last_used;
+          });
+      cache.slots.erase(victim);
+    }
+    auto tree = std::make_unique<ShortestPathTree>(shortest_tree(
+        g_, u, mask_, SpfOptions{.metric = metric_, .padded = padded}));
+    ++spf_runs_;
+    it = cache.slots.emplace(u, Cache::Slot{std::move(tree), 0}).first;
+  }
+  it->second.last_used = ++use_clock_;
+  return *it->second.tree;
+}
+
+const ShortestPathTree& DistanceOracle::tree(graph::NodeId u) {
+  return get(plain_, u, /*padded=*/false);
+}
+
+const ShortestPathTree& DistanceOracle::padded_tree(graph::NodeId u) {
+  return get(padded_, u, /*padded=*/true);
+}
+
+const ShortestPathTree* DistanceOracle::peek(graph::NodeId u) const {
+  if (auto it = plain_.slots.find(u); it != plain_.slots.end()) {
+    return it->second.tree.get();
+  }
+  if (auto it = padded_.slots.find(u); it != padded_.slots.end()) {
+    return it->second.tree.get();
+  }
+  return nullptr;
+}
+
+graph::Weight DistanceOracle::dist(graph::NodeId u, graph::NodeId v) {
+  // Serve from whichever tree is already cached before computing one.
+  if (const ShortestPathTree* t = peek(u)) return t->dist(v);
+  // Undirected distances are symmetric: a cached tree at v also answers.
+  if (!g_.directed()) {
+    if (const ShortestPathTree* t = peek(v)) return t->dist(u);
+  }
+  return tree(u).dist(v);
+}
+
+bool DistanceOracle::reachable(graph::NodeId u, graph::NodeId v) {
+  return dist(u, v) != graph::kUnreachable;
+}
+
+graph::Path DistanceOracle::some_shortest_path(graph::NodeId u,
+                                               graph::NodeId v) {
+  const ShortestPathTree& t = tree(u);
+  if (!t.reachable(v)) return graph::Path{};
+  return t.path_to(g_, v);
+}
+
+graph::Path DistanceOracle::canonical_path(graph::NodeId u, graph::NodeId v) {
+  const ShortestPathTree& t = padded_tree(u);
+  if (!t.reachable(v)) return graph::Path{};
+  return t.path_to(g_, v);
+}
+
+bool DistanceOracle::is_shortest(const graph::Path& segment) {
+  if (segment.empty() || segment.hops() == 0) return true;
+  graph::Weight cost = 0;
+  for (graph::EdgeId e : segment.edges()) {
+    cost += metric_weight(g_, e, metric_);
+  }
+  return cost == dist(segment.source(), segment.target());
+}
+
+bool DistanceOracle::is_canonical(const graph::Path& segment) {
+  if (segment.empty() || segment.hops() == 0) return true;
+  return segment == canonical_path(segment.source(), segment.target());
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,90 @@
+// DistanceOracle: cached one-to-all SPF runs against a fixed
+// (graph, failure-mask, metric) configuration.
+//
+// The experiment engine asks many distance / canonical-path / segment-is-
+// shortest queries rooted at a modest number of distinct sources; caching
+// whole trees makes each additional query O(1) / O(path length) while
+// keeping memory proportional to (#distinct sources x n), which is what
+// makes the 40k-node Internet topology tractable (DESIGN.md §5.1).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+#include "spf/spf.hpp"
+#include "spf/tree.hpp"
+
+namespace rbpc::spf {
+
+class DistanceOracle {
+ public:
+  /// The oracle copies `mask`, so callers may mutate theirs afterwards.
+  /// `max_cached_trees` bounds the number of cached SPF trees per flavor
+  /// (0 = unlimited); on 40k-node graphs each tree costs ~1 MB, so the
+  /// experiment engines set a bound and rely on source locality.
+  DistanceOracle(const graph::Graph& g, graph::FailureMask mask, Metric metric,
+                 std::size_t max_cached_trees = 0);
+
+  const graph::Graph& graph() const { return g_; }
+  const graph::FailureMask& mask() const { return mask_; }
+  Metric metric() const { return metric_; }
+
+  /// Shortest-path tree rooted at u (plain metric). Cached.
+  const ShortestPathTree& tree(graph::NodeId u);
+  /// Shortest-path tree rooted at u with canonical padding. Cached.
+  const ShortestPathTree& padded_tree(graph::NodeId u);
+
+  /// True cost of the shortest u->v route; kUnreachable if disconnected.
+  graph::Weight dist(graph::NodeId u, graph::NodeId v);
+
+  bool reachable(graph::NodeId u, graph::NodeId v);
+
+  /// Some shortest u->v path (the plain tree's path); empty if unreachable.
+  graph::Path some_shortest_path(graph::NodeId u, graph::NodeId v);
+
+  /// The canonical (padded / Theorem-3) shortest u->v path; empty if
+  /// unreachable.
+  graph::Path canonical_path(graph::NodeId u, graph::NodeId v);
+
+  /// True when `segment` is *a* shortest path between its endpoints, i.e.
+  /// its cost equals the endpoint distance. This is exactly membership in
+  /// the paper's all-pairs-shortest-paths base set. Empty segments and
+  /// trivial (single-node) segments are shortest by convention.
+  bool is_shortest(const graph::Path& segment);
+
+  /// True when `segment` equals the canonical base path between its
+  /// endpoints (membership in the Theorem-3 single-path-per-pair set).
+  bool is_canonical(const graph::Path& segment);
+
+  /// Number of SPF runs performed so far (both flavors); used by the
+  /// benchmarks to report work done.
+  std::size_t spf_runs() const { return spf_runs_; }
+
+ private:
+  /// Tree cache with optional LRU eviction.
+  struct Cache {
+    struct Slot {
+      std::unique_ptr<ShortestPathTree> tree;
+      std::uint64_t last_used = 0;
+    };
+    std::unordered_map<graph::NodeId, Slot> slots;
+  };
+
+  const graph::Graph& g_;
+  graph::FailureMask mask_;
+  Metric metric_;
+  std::size_t max_cached_;
+  std::uint64_t use_clock_ = 0;
+  Cache plain_;
+  Cache padded_;
+  std::size_t spf_runs_ = 0;
+
+  const ShortestPathTree& get(Cache& cache, graph::NodeId u, bool padded);
+  const ShortestPathTree* peek(graph::NodeId u) const;
+};
+
+}  // namespace rbpc::spf

@@ -1,0 +1,154 @@
+#include "spf/spf.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+/// BFS for the hop metric (no padding): linear time, deterministic because
+/// adjacency lists are sorted.
+ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask,
+                          const SpfOptions& options) {
+  ShortestPathTree tree(source, g.num_nodes(), Metric::Hops, /*padded=*/false);
+  tree.settle(source, 0, 0, graph::kInvalidNode, graph::kInvalidEdge);
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (v == options.stop_at) break;
+    const Weight d = tree.dist(v);
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge) || tree.reachable(a.to)) continue;
+      tree.settle(a.to, d + 1, static_cast<std::uint32_t>(d + 1), v, a.edge);
+      queue.push_back(a.to);
+    }
+  }
+  return tree;
+}
+
+/// Binary-heap Dijkstra with lazy deletion. When options.padded, the heap
+/// key is the padded cost; the tree's recorded dist is always the true cost
+/// (padding preserves strict order of true costs, so the padded-optimal
+/// path is a true shortest path).
+ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
+                               const FailureMask& mask,
+                               const SpfOptions& options) {
+  ShortestPathTree tree(source, g.num_nodes(), options.metric, options.padded);
+
+  const Weight inf = graph::kUnreachable;
+  std::vector<Weight> key(g.num_nodes(), inf);        // heap key (maybe padded)
+  std::vector<Weight> truedist(g.num_nodes(), inf);   // metric cost
+  std::vector<std::uint32_t> hops(g.num_nodes(), 0);
+  std::vector<NodeId> parent(g.num_nodes(), graph::kInvalidNode);
+  std::vector<EdgeId> parent_edge(g.num_nodes(), graph::kInvalidEdge);
+  std::vector<bool> settled(g.num_nodes(), false);
+
+  using HeapItem = std::pair<Weight, NodeId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  key[source] = 0;
+  truedist[source] = 0;
+  heap.push({0, source});
+
+  while (!heap.empty()) {
+    const auto [k, v] = heap.top();
+    heap.pop();
+    if (settled[v] || k != key[v]) continue;  // stale entry
+    settled[v] = true;
+    tree.settle(v, truedist[v], hops[v], parent[v], parent_edge[v]);
+    if (v == options.stop_at) break;
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge) || settled[a.to]) continue;
+      const Weight step = options.padded
+                              ? padded_weight(g, a.edge, options.metric)
+                              : metric_weight(g, a.edge, options.metric);
+      const Weight alt = key[v] + step;
+      if (alt < key[a.to]) {
+        key[a.to] = alt;
+        truedist[a.to] =
+            truedist[v] + metric_weight(g, a.edge, options.metric);
+        hops[a.to] = hops[v] + 1;
+        parent[a.to] = v;
+        parent_edge[a.to] = a.edge;
+        heap.push({alt, a.to});
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree shortest_tree(const Graph& g, NodeId source,
+                               const FailureMask& mask, SpfOptions options) {
+  require(source < g.num_nodes(), "shortest_tree: source out of range");
+  require(mask.node_alive(source), "shortest_tree: source router is failed");
+  if (options.metric == Metric::Hops && !options.padded) {
+    return bfs_tree(g, source, mask, options);
+  }
+  return dijkstra_tree(g, source, mask, options);
+}
+
+graph::Path shortest_path(const Graph& g, NodeId s, NodeId t,
+                          const FailureMask& mask, SpfOptions options) {
+  require(t < g.num_nodes(), "shortest_path: target out of range");
+  options.stop_at = t;
+  const ShortestPathTree tree = shortest_tree(g, s, mask, options);
+  if (!tree.reachable(t)) return graph::Path{};
+  return tree.path_to(g, t);
+}
+
+Weight distance(const Graph& g, NodeId s, NodeId t, const FailureMask& mask,
+                SpfOptions options) {
+  require(t < g.num_nodes(), "distance: target out of range");
+  options.stop_at = t;
+  return shortest_tree(g, s, mask, options).dist(t);
+}
+
+Weight approx_hop_diameter(const Graph& g, const FailureMask& mask,
+                           std::size_t sweeps) {
+  require(!g.directed(), "approx_hop_diameter: undirected graphs only");
+  require(sweeps >= 1, "approx_hop_diameter: need at least one sweep");
+  // First alive node as the initial root.
+  NodeId root = graph::kInvalidNode;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mask.node_alive(v)) {
+      root = v;
+      break;
+    }
+  }
+  if (root == graph::kInvalidNode) return 0;
+
+  Weight best = 0;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    const ShortestPathTree tree =
+        shortest_tree(g, root, mask, SpfOptions{.metric = Metric::Hops});
+    NodeId farthest = root;
+    Weight far_dist = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!tree.reachable(v)) continue;
+      if (tree.dist(v) > far_dist) {
+        far_dist = tree.dist(v);
+        farthest = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    if (farthest == root) break;  // eccentricity 0: isolated component
+    root = farthest;
+  }
+  return best;
+}
+
+}  // namespace rbpc::spf

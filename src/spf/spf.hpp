@@ -1,0 +1,59 @@
+// Single-source shortest-path computations (SPF in routing terminology).
+//
+// One entry point covers both metrics: Hops runs BFS (unless padding is
+// requested, which needs Dijkstra on augmented unit weights), Weighted runs
+// binary-heap Dijkstra. All functions are failure-mask aware and fully
+// deterministic: adjacency lists are pre-sorted and relaxations use strict
+// improvement only, so the resulting tree depends only on (graph, mask,
+// options).
+#pragma once
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+#include "spf/tree.hpp"
+
+namespace rbpc::spf {
+
+struct SpfOptions {
+  Metric metric = Metric::Weighted;
+  /// Deterministic padding: ties between equal-cost paths are broken by
+  /// per-edge salts, yielding the canonical (generically unique) shortest
+  /// path per pair — Theorem 3's base-set selection.
+  bool padded = false;
+  /// Early exit: stop as soon as this node is settled (single-pair query).
+  graph::NodeId stop_at = graph::kInvalidNode;
+};
+
+/// Computes the shortest-path tree from `source` over the surviving part of
+/// the network. Unreachable nodes (including failed ones) have
+/// dist == kUnreachable. Throws PreconditionError if `source` is failed or
+/// out of range.
+ShortestPathTree shortest_tree(const graph::Graph& g, graph::NodeId source,
+                               const graph::FailureMask& mask = graph::FailureMask::none(),
+                               SpfOptions options = {});
+
+/// Single-pair shortest path; the empty Path when t is unreachable from s.
+graph::Path shortest_path(const graph::Graph& g, graph::NodeId s,
+                          graph::NodeId t,
+                          const graph::FailureMask& mask = graph::FailureMask::none(),
+                          SpfOptions options = {});
+
+/// Distance only (kUnreachable when disconnected).
+graph::Weight distance(const graph::Graph& g, graph::NodeId s, graph::NodeId t,
+                       const graph::FailureMask& mask = graph::FailureMask::none(),
+                       SpfOptions options = {});
+
+/// Lower bound on the hop-count diameter by iterated double sweep: BFS from
+/// a start node, then repeatedly from the farthest node found, for `sweeps`
+/// rounds. Exact on trees; in practice within a hop or two of the true
+/// diameter on internet-like graphs, at O(sweeps * (n + m)) cost — used to
+/// check the small-world property of the Table-1 stand-ins where exact APSP
+/// is infeasible. Undirected; ignores failed elements per `mask`.
+graph::Weight approx_hop_diameter(
+    const graph::Graph& g,
+    const graph::FailureMask& mask = graph::FailureMask::none(),
+    std::size_t sweeps = 4);
+
+}  // namespace rbpc::spf

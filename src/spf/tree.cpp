@@ -1,0 +1,75 @@
+#include "spf/tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+ShortestPathTree::ShortestPathTree(graph::NodeId source, std::size_t num_nodes,
+                                   Metric metric, bool padded)
+    : source_(source),
+      metric_(metric),
+      padded_(padded),
+      dist_(num_nodes, graph::kUnreachable),
+      hops_(num_nodes, 0),
+      parent_(num_nodes, graph::kInvalidNode),
+      parent_edge_(num_nodes, graph::kInvalidEdge) {
+  require(source < num_nodes, "ShortestPathTree: source out of range");
+}
+
+bool ShortestPathTree::reachable(graph::NodeId v) const {
+  require(v < dist_.size(), "ShortestPathTree::reachable: node out of range");
+  return dist_[v] != graph::kUnreachable;
+}
+
+graph::Weight ShortestPathTree::dist(graph::NodeId v) const {
+  require(v < dist_.size(), "ShortestPathTree::dist: node out of range");
+  return dist_[v];
+}
+
+std::uint32_t ShortestPathTree::hops(graph::NodeId v) const {
+  require(reachable(v), "ShortestPathTree::hops: node not reachable");
+  return hops_[v];
+}
+
+graph::NodeId ShortestPathTree::parent(graph::NodeId v) const {
+  require(v < parent_.size(), "ShortestPathTree::parent: node out of range");
+  return parent_[v];
+}
+
+graph::EdgeId ShortestPathTree::parent_edge(graph::NodeId v) const {
+  require(v < parent_edge_.size(),
+          "ShortestPathTree::parent_edge: node out of range");
+  return parent_edge_[v];
+}
+
+graph::Path ShortestPathTree::path_to(const graph::Graph& g,
+                                      graph::NodeId v) const {
+  require(reachable(v), "ShortestPathTree::path_to: node not reachable");
+  std::vector<graph::NodeId> nodes;
+  std::vector<graph::EdgeId> edges;
+  nodes.reserve(hops_[v] + 1);
+  edges.reserve(hops_[v]);
+  for (graph::NodeId cur = v; cur != source_; cur = parent_[cur]) {
+    RBPC_ASSERT(cur != graph::kInvalidNode);
+    nodes.push_back(cur);
+    edges.push_back(parent_edge_[cur]);
+  }
+  nodes.push_back(source_);
+  std::reverse(nodes.begin(), nodes.end());
+  std::reverse(edges.begin(), edges.end());
+  return graph::Path::from_parts(g, std::move(nodes), std::move(edges));
+}
+
+void ShortestPathTree::settle(graph::NodeId v, graph::Weight dist,
+                              std::uint32_t hops, graph::NodeId parent,
+                              graph::EdgeId parent_edge) {
+  RBPC_ASSERT(v < dist_.size());
+  dist_[v] = dist;
+  hops_[v] = hops;
+  parent_[v] = parent;
+  parent_edge_[v] = parent_edge;
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,53 @@
+// Shortest-path tree: the result of one single-source SPF run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "graph/types.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::spf {
+
+class ShortestPathTree {
+ public:
+  ShortestPathTree(graph::NodeId source, std::size_t num_nodes, Metric metric,
+                   bool padded);
+
+  graph::NodeId source() const { return source_; }
+  Metric metric() const { return metric_; }
+  /// True when the run used deterministic padding (canonical tie-breaking).
+  bool padded() const { return padded_; }
+
+  bool reachable(graph::NodeId v) const;
+  /// True cost (hops or weight per `metric`) of the tree path to v;
+  /// kUnreachable when v is not reachable.
+  graph::Weight dist(graph::NodeId v) const;
+  /// Number of hops along the tree path. Precondition: reachable(v).
+  std::uint32_t hops(graph::NodeId v) const;
+  /// Tree parent of v; kInvalidNode at the source and unreachable nodes.
+  graph::NodeId parent(graph::NodeId v) const;
+  graph::EdgeId parent_edge(graph::NodeId v) const;
+
+  /// Reconstructs the tree path source -> v. Precondition: reachable(v).
+  graph::Path path_to(const graph::Graph& g, graph::NodeId v) const;
+
+  std::size_t num_nodes() const { return dist_.size(); }
+
+  // Mutators used by the SPF implementations.
+  void settle(graph::NodeId v, graph::Weight dist, std::uint32_t hops,
+              graph::NodeId parent, graph::EdgeId parent_edge);
+
+ private:
+  graph::NodeId source_;
+  Metric metric_;
+  bool padded_;
+  std::vector<graph::Weight> dist_;
+  std::vector<std::uint32_t> hops_;
+  std::vector<graph::NodeId> parent_;
+  std::vector<graph::EdgeId> parent_edge_;
+};
+
+}  // namespace rbpc::spf

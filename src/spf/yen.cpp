@@ -1,0 +1,104 @@
+#include "spf/yen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+using graph::Weight;
+
+namespace {
+
+Weight path_cost(const Graph& g, const Path& p, Metric metric) {
+  Weight total = 0;
+  for (EdgeId e : p.edges()) total += metric_weight(g, e, metric);
+  return total;
+}
+
+/// Deterministic candidate ordering: (cost, hops, node sequence).
+struct Candidate {
+  Weight cost;
+  Path path;
+
+  bool operator<(const Candidate& other) const {
+    if (cost != other.cost) return cost < other.cost;
+    if (path.hops() != other.path.hops()) return path.hops() < other.path.hops();
+    return std::tie(path.nodes(), path.edges()) <
+           std::tie(other.path.nodes(), other.path.edges());
+  }
+};
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId s, NodeId t,
+                                   std::size_t k, const FailureMask& mask,
+                                   Metric metric) {
+  require(k >= 1, "k_shortest_paths: k must be >= 1");
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "k_shortest_paths: node out of range");
+  require(s != t, "k_shortest_paths: endpoints must differ");
+
+  std::vector<Path> accepted;
+  const Path first =
+      shortest_path(g, s, t, mask, SpfOptions{.metric = metric, .padded = true});
+  if (first.empty()) return accepted;
+  accepted.push_back(first);
+
+  std::set<Candidate> candidates;
+
+  while (accepted.size() < k) {
+    const Path& last = accepted.back();
+    // Spur from every node of the previous path except the target.
+    for (std::size_t i = 0; i + 1 < last.num_nodes(); ++i) {
+      const Path root = last.subpath(0, i);
+      const NodeId spur = last.node(i);
+
+      FailureMask spur_mask = mask;
+      // Ban the next edge of every accepted path sharing this root, so the
+      // spur deviates.
+      for (const Path& p : accepted) {
+        if (p.num_nodes() <= i + 1) continue;
+        if (p.subpath(0, i).nodes() != root.nodes()) continue;
+        spur_mask.fail_edge(p.edge(i));
+      }
+      // Ban the root's interior nodes to keep candidates loopless.
+      for (std::size_t j = 0; j < i; ++j) spur_mask.fail_node(root.node(j));
+      if (!spur_mask.node_alive(spur)) continue;
+
+      const Path spur_path = shortest_path(
+          g, spur, t, spur_mask, SpfOptions{.metric = metric, .padded = true});
+      if (spur_path.empty()) continue;
+
+      Path candidate = root.concat(spur_path);
+      Candidate c{path_cost(g, candidate, metric), std::move(candidate)};
+      candidates.insert(std::move(c));
+    }
+
+    // Pop the cheapest unseen candidate.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      Candidate best = std::move(candidates.extract(candidates.begin()).value());
+      const bool duplicate =
+          std::find(accepted.begin(), accepted.end(), best.path) !=
+          accepted.end();
+      if (!duplicate) {
+        accepted.push_back(std::move(best.path));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // path space exhausted
+  }
+  return accepted;
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,29 @@
+// Yen's algorithm: the k shortest loopless s-t paths.
+//
+// Restoration by pre-provisioned k-shortest paths (the paper's reference
+// [7], Dunn-Grover-MacGregor) is the classic alternative RBPC is compared
+// against: provision k alternates per pair and hope one survives. This
+// module provides that baseline for the comparison benches, and is useful
+// on its own for redundancy analysis.
+#pragma once
+
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::spf {
+
+/// The up-to-k cheapest loopless s-t paths over the surviving network, in
+/// nondecreasing cost order (ties broken by hop count, then lexicographic
+/// node sequence, so the result is fully deterministic). Fewer than k paths
+/// are returned when the graph does not contain k distinct loopless routes.
+/// Precondition: k >= 1, s != t.
+std::vector<graph::Path> k_shortest_paths(
+    const graph::Graph& g, graph::NodeId s, graph::NodeId t, std::size_t k,
+    const graph::FailureMask& mask = graph::FailureMask::none(),
+    Metric metric = Metric::Weighted);
+
+}  // namespace rbpc::spf

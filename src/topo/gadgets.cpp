@@ -1,0 +1,128 @@
+#include "topo/gadgets.hpp"
+
+#include "util/error.hpp"
+
+namespace rbpc::topo {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+CombGadget make_comb(std::size_t k) {
+  require(k >= 1, "make_comb: k must be >= 1");
+  // Nodes: spine u_0 .. u_k are 0 .. k; tooth above spine edge i
+  // (joining u_{i-1}, u_i) is node k + i, for i in 1..k.
+  GraphBuilder b(2 * k + 1);
+  CombGadget out;
+  out.s = 0;
+  out.t = static_cast<NodeId>(k);
+  for (std::size_t i = 1; i <= k; ++i) {
+    const NodeId left = static_cast<NodeId>(i - 1);
+    const NodeId right = static_cast<NodeId>(i);
+    const NodeId tooth = static_cast<NodeId>(k + i);
+    out.spine_edges.push_back(b.add_edge(left, right, 1));
+    b.add_edge(left, tooth, 1);
+    b.add_edge(tooth, right, 1);
+  }
+  out.g = b.build();
+  return out;
+}
+
+WeightedChainGadget make_weighted_chain(std::size_t k) {
+  require(k >= 1, "make_weighted_chain: k must be >= 1");
+  // Chain u_0 .. u_{2k+1}. Segments (u_{2i}, u_{2i+1}) are single cheap
+  // edges (unique shortest paths). Segments (u_{2i+1}, u_{2i+2}) carry a
+  // parallel pair: cheap (fails) and cheap+1 ("1 + epsilon", survives).
+  const std::size_t n = 2 * k + 2;
+  GraphBuilder b(n);
+  WeightedChainGadget out;
+  out.s = 0;
+  out.t = static_cast<NodeId>(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    const NodeId v = static_cast<NodeId>(i + 1);
+    if (i % 2 == 0) {
+      b.add_edge(u, v, WeightedChainGadget::kCheap);
+    } else {
+      out.cheap_parallel_edges.push_back(
+          b.add_edge(u, v, WeightedChainGadget::kCheap));
+      out.epsilon_edges.push_back(
+          b.add_edge(u, v, WeightedChainGadget::kCheap + 1));
+    }
+  }
+  out.g = b.build();
+  return out;
+}
+
+StarGadget make_two_level_star(std::size_t n) {
+  require(n >= 5, "make_two_level_star: need at least 5 nodes");
+  // Node 0 = hub v; node 1 = s; node n-1 = t; nodes 2..n-2 form the chain
+  // w_1 .. w_{n-3} between s and t.
+  GraphBuilder b(n);
+  StarGadget out;
+  out.hub = 0;
+  out.s = 1;
+  out.t = static_cast<NodeId>(n - 1);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(0, static_cast<NodeId>(v), 1);
+  }
+  for (std::size_t v = 1; v + 1 < n; ++v) {
+    b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(v + 1), 1);
+  }
+  out.g = b.build();
+  return out;
+}
+
+DirectedGadget make_directed_counterexample(std::size_t m) {
+  require(m >= 4, "make_directed_counterexample: chain must have >= 4 hops");
+  // Nodes: x_0 .. x_m are 0 .. m; a = m+1; b = m+2.
+  const NodeId a = static_cast<NodeId>(m + 1);
+  const NodeId bb = static_cast<NodeId>(m + 2);
+  GraphBuilder builder(m + 3, /*directed=*/true);
+  DirectedGadget out;
+  out.s = 0;
+  out.t = static_cast<NodeId>(m);
+  out.chain_hops = m;
+  for (std::size_t i = 0; i < m; ++i) {
+    builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1);
+  }
+  // Shortcuts: x_i -> a for i < m; a -> b; b -> x_j for j > 0. Every pair
+  // (x_i, x_j), j > i, is at distance min(j - i, 3).
+  for (std::size_t i = 0; i < m; ++i) {
+    builder.add_edge(static_cast<NodeId>(i), a, 1);
+  }
+  out.ab_edge = builder.add_edge(a, bb, 1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    builder.add_edge(bb, static_cast<NodeId>(j), 1);
+  }
+  out.g = builder.build();
+  return out;
+}
+
+graph::Graph make_four_cycle() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  b.add_edge(3, 0, 1);
+  return b.build();
+}
+
+ParallelChainGadget make_parallel_chain(std::size_t k) {
+  require(k >= 1, "make_parallel_chain: k must be >= 1");
+  const std::size_t n = 2 * k + 2;  // v_1 .. v_{2k+2} as 0 .. 2k+1
+  GraphBuilder b(n);
+  ParallelChainGadget out;
+  out.s = 0;
+  out.t = static_cast<NodeId>(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    const NodeId v = static_cast<NodeId>(i + 1);
+    const graph::EdgeId e1 = b.add_edge(u, v, 1);
+    const graph::EdgeId e2 = b.add_edge(u, v, 1);
+    out.pairs.emplace_back(e1, e2);
+  }
+  out.g = b.build();
+  return out;
+}
+
+}  // namespace rbpc::topo

@@ -1,0 +1,95 @@
+// The paper's hand-constructed example topologies (Figures 2-5 and the
+// discussion around Theorem 3). Each factory returns the graph plus the
+// node/edge roles the accompanying argument refers to, so the tests and the
+// tightness bench can replay the exact failure scenario.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace rbpc::topo {
+
+/// Figure 2 — Theorem 1 is tight.
+///
+/// A "comb": spine s = u_0 - u_1 - ... - u_k = t of unit edges, plus a
+/// tooth node t_i above every spine edge (t_i adjacent to u_{i-1} and u_i).
+/// Tooth tops are never interior to a shortest path. Failing all k spine
+/// edges leaves a unique s-t path that decomposes into no fewer than k + 1
+/// original shortest paths.
+struct CombGadget {
+  graph::Graph g;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  std::vector<graph::EdgeId> spine_edges;  ///< the k edges to fail
+};
+CombGadget make_comb(std::size_t k);
+
+/// Figure 3 — Theorem 2 is tight (weighted case).
+///
+/// A chain alternating "cheap" segments (unique shortest paths, weight
+/// kCheap) with parallel pairs {weight kCheap (fails), weight kCheap+1
+/// (survives)}. The surviving 1+epsilon edges lie on no original shortest
+/// path, so the restoration path interleaves k + 1 base paths and k
+/// non-base edges.
+struct WeightedChainGadget {
+  graph::Graph g;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  std::vector<graph::EdgeId> cheap_parallel_edges;  ///< the k edges to fail
+  std::vector<graph::EdgeId> epsilon_edges;         ///< their 1+eps twins
+  static constexpr graph::Weight kCheap = 1000;
+};
+WeightedChainGadget make_weighted_chain(std::size_t k);
+
+/// Figure 4 — router failures can force Theta(n) concatenations.
+///
+/// Hub v adjacent to everyone; s - w_1 - w_2 - ... - w_c - t is the only
+/// detour. Every non-neighbor pair is at distance 2 (via v), so after v
+/// fails the unique s-t path of c + 1 hops needs at least ceil((c+1)/2)
+/// ~ (n-2)/2 original shortest paths.
+struct StarGadget {
+  graph::Graph g;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  graph::NodeId hub = 0;  ///< the router to fail
+};
+StarGadget make_two_level_star(std::size_t n);
+
+/// Figure 5 — Theorem 1 fails on directed graphs.
+///
+/// Directed chain x_0 -> x_1 -> ... -> x_m with shortcut structure
+/// x_i -> a, a -> b, b -> x_j making every pair at distance <= 3. When
+/// (a, b) fails, the new shortest x_0 -> x_m path is the whole chain, and
+/// any decomposition into original shortest paths needs >= ceil(m/3)
+/// ~ (n-2)/3 pieces.
+struct DirectedGadget {
+  graph::Graph g;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  graph::EdgeId ab_edge = 0;  ///< the edge to fail
+  std::size_t chain_hops = 0;  ///< m
+};
+DirectedGadget make_directed_counterexample(std::size_t m);
+
+/// The 4-cycle used to show that for unweighted graphs no single-path-per-
+/// pair base set avoids the extra edge under one failure.
+graph::Graph make_four_cycle();
+
+/// Theorem-3 discussion — chain v_1 .. v_{2k+2} with two parallel edges
+/// between every consecutive pair. With a padded ("consistently shorter
+/// edge") base set, failing the k shorter edges of the odd pairs forces a
+/// 2k+1-component restoration.
+struct ParallelChainGadget {
+  graph::Graph g;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  /// For each consecutive pair i (0-based), the two parallel edge ids
+  /// {lighter-salt first}. Size 2k+1.
+  std::vector<std::pair<graph::EdgeId, graph::EdgeId>> pairs;
+};
+ParallelChainGadget make_parallel_chain(std::size_t k);
+
+}  // namespace rbpc::topo

@@ -1,0 +1,315 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::topo {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Weight;
+
+Graph make_ring(std::size_t n, Weight weight) {
+  require(n >= 3, "make_ring: need at least 3 nodes");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), weight);
+  }
+  return b.build();
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols, Weight weight) {
+  require(rows >= 1 && cols >= 1 && rows * cols >= 2,
+          "make_grid: need at least 2 nodes");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), weight);
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), weight);
+    }
+  }
+  return b.build();
+}
+
+Graph make_complete(std::size_t n, Weight weight) {
+  require(n >= 2, "make_complete: need at least 2 nodes");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), weight);
+    }
+  }
+  return b.build();
+}
+
+Graph make_chain(std::size_t n, Weight weight) {
+  require(n >= 2, "make_chain: need at least 2 nodes");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), weight);
+  }
+  return b.build();
+}
+
+Graph make_random_connected(std::size_t n, std::size_t num_edges, Rng& rng,
+                            Weight max_weight) {
+  require(n >= 2, "make_random_connected: need at least 2 nodes");
+  require(num_edges >= n - 1, "make_random_connected: too few edges to connect");
+  require(num_edges <= n * (n - 1) / 2,
+          "make_random_connected: more edges than a simple graph allows");
+  require(max_weight >= 1, "make_random_connected: max_weight must be >= 1");
+
+  GraphBuilder b(n);
+  auto weight = [&] {
+    return max_weight == 1 ? Weight{1} : rng.range(1, max_weight);
+  };
+
+  // Random spanning tree: random permutation, attach each node to a random
+  // earlier node (uniform attachment tree).
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  rng.shuffle(perm);
+  std::set<std::pair<NodeId, NodeId>> present;
+  auto key = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId u = perm[i];
+    const NodeId v = perm[rng.below(i)];
+    b.add_edge(u, v, weight());
+    present.insert(key(u, v));
+  }
+  // Extra uniform edges (rejection sampling; simple graph).
+  while (b.num_edges() < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v || present.contains(key(u, v))) continue;
+    b.add_edge(u, v, weight());
+    present.insert(key(u, v));
+  }
+  return b.build();
+}
+
+Graph make_waxman(std::size_t n, double alpha, double beta, Rng& rng) {
+  require(n >= 2, "make_waxman: need at least 2 nodes");
+  require(alpha > 0 && beta > 0, "make_waxman: alpha and beta must be positive");
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const double diag = std::sqrt(2.0);
+
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::hypot(pts[i].x - pts[j].x, pts[i].y - pts[j].y);
+      if (rng.chance(alpha * std::exp(-d / (beta * diag)))) {
+        b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), 1);
+      }
+    }
+  }
+  // Patch connectivity: link each later component to component 0 through
+  // the geometrically closest cross pair.
+  for (;;) {
+    const auto comps = graph::connected_components(b.build());
+    if (comps.count <= 1) break;
+    double best = 1e18;
+    NodeId bu = graph::kInvalidNode;
+    NodeId bv = graph::kInvalidNode;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (comps.label[i] != 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (comps.label[j] == 0) continue;
+        const double d = std::hypot(pts[i].x - pts[j].x, pts[i].y - pts[j].y);
+        if (d < best) {
+          best = d;
+          bu = static_cast<NodeId>(i);
+          bv = static_cast<NodeId>(j);
+        }
+      }
+    }
+    b.add_edge(bu, bv, 1);
+  }
+  return b.build();
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, double extra_frac,
+                           Rng& rng, double triad_p) {
+  require(m >= 1, "make_barabasi_albert: m must be >= 1");
+  require(n > m + 1, "make_barabasi_albert: n must exceed the seed clique");
+  require(triad_p >= 0.0 && triad_p <= 1.0,
+          "make_barabasi_albert: triad_p must be in [0,1]");
+  const std::size_t seed_size = m + 1;
+  GraphBuilder b(n);
+  // Endpoint pool: every edge contributes both endpoints; sampling the pool
+  // uniformly is sampling nodes proportionally to degree. `adj` mirrors the
+  // incremental adjacency for triad-closure sampling.
+  std::vector<NodeId> pool;
+  std::vector<std::vector<NodeId>> adj(n);
+  auto link = [&](NodeId u, NodeId v) {
+    b.add_edge(u, v, 1);
+    pool.push_back(u);
+    pool.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (std::size_t i = 0; i < seed_size; ++i) {
+    for (std::size_t j = i + 1; j < seed_size; ++j) {
+      link(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  std::vector<NodeId> targets;
+  for (std::size_t v = seed_size; v < n; ++v) {
+    std::size_t attach = m + (rng.chance(extra_frac) ? 1 : 0);
+    attach = std::min(attach, v);  // cannot exceed existing node count
+    targets.clear();
+    auto is_target = [&](NodeId t) {
+      return std::find(targets.begin(), targets.end(), t) != targets.end();
+    };
+    while (targets.size() < attach) {
+      NodeId t = graph::kInvalidNode;
+      // Holme-Kim triad step: follow a random neighbor of the previous
+      // target so the new node closes a triangle.
+      if (!targets.empty() && rng.chance(triad_p)) {
+        const auto& nbrs = adj[targets.back()];
+        const NodeId candidate = nbrs[rng.below(nbrs.size())];
+        if (candidate != static_cast<NodeId>(v) && !is_target(candidate)) {
+          t = candidate;
+        }
+      }
+      if (t == graph::kInvalidNode) {
+        const NodeId candidate = pool[rng.below(pool.size())];
+        if (is_target(candidate)) continue;
+        t = candidate;
+      }
+      targets.push_back(t);
+    }
+    for (NodeId t : targets) link(static_cast<NodeId>(v), t);
+  }
+  return b.build();
+}
+
+Graph make_isp_like(const IspParams& params, Rng& rng) {
+  require(params.backbone >= 3, "make_isp_like: need at least 3 backbone nodes");
+  require(params.access_per_pop >= 1,
+          "make_isp_like: need at least 1 access router per PoP");
+  require(params.same_backbone_fraction >= 0.0 &&
+              params.same_backbone_fraction <= 1.0,
+          "make_isp_like: same_backbone_fraction must be in [0,1]");
+
+  // Nodes: backbone, then per PoP two aggregation routers followed by the
+  // access routers.
+  const std::size_t n =
+      params.backbone + params.pops * (2 + params.access_per_pop);
+  GraphBuilder b(n);
+
+  // Inverse-capacity OSPF-style weights with mild capacity variation:
+  // backbone links are highest-capacity (lowest weight).
+  auto tier_weight = [&](Weight base) -> Weight {
+    if (!params.weighted) return 1;
+    // Occasionally a link is provisioned at half capacity (double weight).
+    return rng.chance(0.2) ? base * 2 : base;
+  };
+  constexpr Weight kBackboneW = 10;
+  constexpr Weight kAggW = 10;    // co-located aggregation pair
+  constexpr Weight kUplinkW = 40;
+  constexpr Weight kAccessW = 100;
+
+  // Backbone ring.
+  for (std::size_t i = 0; i < params.backbone; ++i) {
+    b.add_edge(static_cast<NodeId>(i),
+               static_cast<NodeId>((i + 1) % params.backbone),
+               tier_weight(kBackboneW));
+  }
+
+  // PoPs: agg1 -- agg2 interconnect, two uplinks, and dual-homed access
+  // routers. Every access link sits in the (acc, agg1, agg2) triangle.
+  std::size_t next = params.backbone;
+  for (std::size_t p = 0; p < params.pops; ++p) {
+    const NodeId agg1 = static_cast<NodeId>(next);
+    const NodeId agg2 = static_cast<NodeId>(next + 1);
+    b.add_edge(agg1, agg2, tier_weight(kAggW));
+
+    const NodeId bb1 = static_cast<NodeId>(rng.below(params.backbone));
+    NodeId bb2 = bb1;
+    if (!rng.chance(params.same_backbone_fraction)) {
+      while (bb2 == bb1) bb2 = static_cast<NodeId>(rng.below(params.backbone));
+    }
+    b.add_edge(agg1, bb1, tier_weight(kUplinkW));
+    b.add_edge(agg2, bb2, tier_weight(kUplinkW));
+
+    for (std::size_t i = 0; i < params.access_per_pop; ++i) {
+      const NodeId acc = static_cast<NodeId>(next + 2 + i);
+      b.add_edge(acc, agg1, tier_weight(kAccessW));
+      b.add_edge(acc, agg2, tier_weight(kAccessW));
+    }
+    next += 2 + params.access_per_pop;
+  }
+
+  // Random backbone chords until the target average degree is met; chords
+  // that close backbone triangles are preferred (chord between nodes two
+  // apart on the ring) to mimic meshy cores.
+  const std::size_t target_edges = static_cast<std::size_t>(
+      params.target_avg_degree * static_cast<double>(n) / 2.0);
+  std::size_t guard = 0;
+  while (b.num_edges() < target_edges && guard < 100 * target_edges) {
+    ++guard;
+    NodeId u = static_cast<NodeId>(rng.below(params.backbone));
+    NodeId v;
+    if (rng.chance(0.5)) {
+      v = static_cast<NodeId>((u + 2) % params.backbone);  // triangle chord
+    } else {
+      v = static_cast<NodeId>(rng.below(params.backbone));
+    }
+    if (u == v || b.has_edge(u, v)) continue;
+    b.add_edge(u, v, tier_weight(kBackboneW));
+  }
+  return b.build();
+}
+
+Graph make_isp_like(Rng& rng, bool weighted) {
+  IspParams params;
+  params.weighted = weighted;
+  return make_isp_like(params, rng);
+}
+
+namespace {
+
+std::size_t scaled(std::size_t value, double scale, std::size_t minimum) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(value) * scale);
+  return std::max(s, minimum);
+}
+
+}  // namespace
+
+Graph make_as_like(Rng& rng, double scale) {
+  require(scale > 0 && scale <= 1.0, "make_as_like: scale must be in (0,1]");
+  // Table 1: 4,746 nodes, 9,878 links => mean attachment ~2.08. Triad
+  // closure models the AS graph's high clustering (most links two-hop
+  // bypassable; paper Table 3 reports 61%).
+  const std::size_t n = scaled(4746, scale, 50);
+  return make_barabasi_albert(n, 2, 0.082, rng, /*triad_p=*/0.50);
+}
+
+Graph make_internet_like(Rng& rng, double scale) {
+  require(scale > 0 && scale <= 1.0,
+          "make_internet_like: scale must be in (0,1]");
+  // Table 1: 40,377 nodes, 101,659 links => mean attachment ~2.52. The
+  // router-level map is somewhat less clustered than the AS graph (paper
+  // Table 3: 55% two-hop bypasses).
+  const std::size_t n = scaled(40377, scale, 50);
+  return make_barabasi_albert(n, 2, 0.518, rng, /*triad_p=*/0.40);
+}
+
+}  // namespace rbpc::topo

@@ -1,0 +1,103 @@
+// Topology generators.
+//
+// The paper evaluates on three topologies that are not publicly available
+// (ISP snapshot; 2001-era NLANR AS graph; Govindan-Tangmunarunkit router
+// map). These generators produce synthetic stand-ins matching the published
+// aggregate statistics (Table 1) and the structural properties RBPC's
+// results depend on — see DESIGN.md §2 for the substitution rationale.
+//
+// All generators are deterministic given the Rng and produce connected
+// graphs.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::topo {
+
+// ---------------------------------------------------------------------------
+// Elementary deterministic topologies (used heavily by tests).
+// ---------------------------------------------------------------------------
+
+/// Cycle 0-1-...-(n-1)-0. Precondition: n >= 3.
+graph::Graph make_ring(std::size_t n, graph::Weight weight = 1);
+
+/// rows x cols grid with unit weights. Precondition: rows, cols >= 1 and
+/// at least 2 nodes total.
+graph::Graph make_grid(std::size_t rows, std::size_t cols,
+                       graph::Weight weight = 1);
+
+/// Complete graph K_n. Precondition: n >= 2.
+graph::Graph make_complete(std::size_t n, graph::Weight weight = 1);
+
+/// Path 0-1-...-(n-1). Precondition: n >= 2.
+graph::Graph make_chain(std::size_t n, graph::Weight weight = 1);
+
+// ---------------------------------------------------------------------------
+// Random models.
+// ---------------------------------------------------------------------------
+
+/// Connected Erdős–Rényi-style G(n, M): a uniform random spanning tree plus
+/// uniformly random extra edges up to `num_edges` total (no parallels).
+/// Precondition: num_edges >= n - 1.
+graph::Graph make_random_connected(std::size_t n, std::size_t num_edges,
+                                   Rng& rng, graph::Weight max_weight = 1);
+
+/// Waxman random geometric graph, patched to connectivity by linking
+/// components through their closest pair. Classic ISP-modelling baseline.
+graph::Graph make_waxman(std::size_t n, double alpha, double beta, Rng& rng);
+
+/// Barabási–Albert preferential attachment with optional Holme–Kim triad
+/// closure. Each arriving node attaches to `m` distinct existing nodes
+/// (m + 1 with probability `extra_frac`, used to hit fractional target
+/// degrees); after the first preferential attachment, each further link
+/// closes a triangle with probability `triad_p` (it goes to a random
+/// neighbor of the previous target). Produces the power-law degree sequence
+/// observed for the AS graph (Faloutsos et al., cited by the paper) AND the
+/// high clustering real AS/router graphs exhibit — which is what makes most
+/// links bypassable in two hops (paper Table 3).
+/// Precondition: m >= 1, n > m + 1, triad_p in [0, 1].
+graph::Graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                  double extra_frac, Rng& rng,
+                                  double triad_p = 0.0);
+
+// ---------------------------------------------------------------------------
+// Paper-scale topologies (Table 1 stand-ins).
+// ---------------------------------------------------------------------------
+
+struct IspParams {
+  std::size_t backbone = 25;        ///< core routers arranged in a ring
+  std::size_t pops = 25;            ///< PoPs hanging off the backbone
+  std::size_t access_per_pop = 5;   ///< access routers per PoP (>= 1)
+  double target_avg_degree = 3.56;  ///< extra backbone chords are added
+                                    ///< until this is reached (Table 1)
+  /// Fraction of PoPs whose two uplinks land on the same backbone router
+  /// (making the uplinks two-hop bypassable, as in real metro designs).
+  double same_backbone_fraction = 0.6;
+  bool weighted = true;             ///< inverse-capacity OSPF-style weights;
+                                    ///< false gives unit weights
+};
+
+/// Two-level ISP-like backbone modeled on real PoP designs: a backbone ring
+/// with random chords; each PoP has two interconnected aggregation routers
+/// uplinked to the backbone, and access routers dual-homed onto *both*
+/// aggregation routers. Every access link is therefore part of a triangle
+/// (two-hop bypassable — the property behind the paper's Table 3), and the
+/// construction is 2-edge-connected, so every single link failure is
+/// restorable. Weights model inverse capacity (backbone/agg 10, uplink 40,
+/// access 100, with mild variation).
+graph::Graph make_isp_like(const IspParams& params, Rng& rng);
+
+/// ~Table-1 "ISP" row: ~200 nodes, ~400 links, avg degree ~3.5.
+graph::Graph make_isp_like(Rng& rng, bool weighted = true);
+
+/// ~Table-1 "AS Graph" row: 4,746 nodes, ~9,878 links, avg degree ~4.16.
+/// `scale` in (0, 1] shrinks the instance proportionally for quick runs.
+graph::Graph make_as_like(Rng& rng, double scale = 1.0);
+
+/// ~Table-1 "Internet" row: 40,377 nodes, ~101,659 links, avg deg ~5.03.
+graph::Graph make_internet_like(Rng& rng, double scale = 1.0);
+
+}  // namespace rbpc::topo

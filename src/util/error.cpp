@@ -1,0 +1,33 @@
+#include "util/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rbpc {
+
+namespace {
+
+std::string locate(const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " (" << loc.function_name() << ')';
+  return os.str();
+}
+
+}  // namespace
+
+void require(bool cond, const std::string& what, std::source_location loc) {
+  if (!cond) {
+    throw PreconditionError(what + " [at " + locate(loc) + "]");
+  }
+}
+
+void fail_internal(const char* expr, std::source_location loc) {
+  // Internal invariants are programming errors: report and abort rather than
+  // unwind, so the broken state is visible in a debugger/core dump.
+  std::cerr << "RBPC internal invariant violated: " << expr << " at "
+            << locate(loc) << std::endl;
+  std::abort();
+}
+
+}  // namespace rbpc

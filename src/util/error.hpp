@@ -1,0 +1,51 @@
+// Error types and precondition helpers shared across the RBPC libraries.
+//
+// Following the project convention, recoverable API misuse and invalid input
+// raise exceptions derived from rbpc::Error; internal invariants use
+// RBPC_ASSERT which is active in all build types (the library is not
+// performance-bound by its assertions).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rbpc {
+
+/// Base class for all exceptions thrown by the RBPC libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when input data (topology file, CLI argument, ...) is malformed.
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a requested route does not exist (e.g. graph disconnected
+/// by failures and no restoration path can be found).
+class NoRouteError : public Error {
+ public:
+  explicit NoRouteError(const std::string& what) : Error(what) {}
+};
+
+/// Throws PreconditionError with location info when `cond` is false.
+void require(bool cond, const std::string& what,
+             std::source_location loc = std::source_location::current());
+
+[[noreturn]] void fail_internal(
+    const char* expr, std::source_location loc = std::source_location::current());
+
+}  // namespace rbpc
+
+/// Internal invariant check; active in every build type.
+#define RBPC_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::rbpc::fail_internal(#expr))

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace rbpc {
+
+void IntHistogram::add(std::int64_t key, std::uint64_t weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(std::int64_t key) const {
+  auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double IntHistogram::fraction(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::min_key() const {
+  require(!bins_.empty(), "IntHistogram::min_key on empty histogram");
+  return bins_.begin()->first;
+}
+
+std::int64_t IntHistogram::max_key() const {
+  require(!bins_.empty(), "IntHistogram::max_key on empty histogram");
+  return bins_.rbegin()->first;
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  require(lo < hi, "BinnedHistogram: lo must be < hi");
+  require(bins >= 1, "BinnedHistogram: need at least one bin");
+}
+
+void BinnedHistogram::add(double value, std::uint64_t weight) {
+  double offset = (value - lo_) / width_;
+  std::size_t idx;
+  if (offset < 0) {
+    idx = 0;
+  } else {
+    idx = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+std::uint64_t BinnedHistogram::bin_count(std::size_t i) const {
+  require(i < counts_.size(), "BinnedHistogram::bin_count: bin out of range");
+  return counts_[i];
+}
+
+double BinnedHistogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bin_count(i)) / static_cast<double>(total_);
+}
+
+double BinnedHistogram::bin_lo(std::size_t i) const {
+  require(i < counts_.size(), "BinnedHistogram::bin_lo: bin out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double BinnedHistogram::bin_hi(std::size_t i) const {
+  require(i < counts_.size(), "BinnedHistogram::bin_hi: bin out of range");
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string BinnedHistogram::bin_label(std::size_t i) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.2f,%.2f)", bin_lo(i), bin_hi(i));
+  return buf;
+}
+
+}  // namespace rbpc

@@ -1,0 +1,64 @@
+// Histograms for the distribution tables/figures of the paper
+// (Table 3's bypass-hopcount distribution and Figure 10's stretch-factor
+// histograms).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rbpc {
+
+/// Histogram over integer keys (e.g. bypass hopcount). Sparse; keys are
+/// stored in sorted order.
+class IntHistogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t key) const;
+  /// Fraction of mass at `key` in [0,1]; 0 when the histogram is empty.
+  double fraction(std::int64_t key) const;
+
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+  bool empty() const { return total_ == 0; }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram over real values with uniform bins on [lo, hi); values outside
+/// the range are clamped into the first/last bin. Used for stretch-factor
+/// distributions (Figure 10), which the paper buckets at 0.1 granularity.
+class BinnedHistogram {
+ public:
+  /// Precondition: lo < hi, bins >= 1.
+  BinnedHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bin_count(std::size_t i) const;
+  double bin_fraction(std::size_t i) const;
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  /// Human-readable label such as "[1.0,1.1)".
+  std::string bin_label(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rbpc

@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rbpc {
+
+void StatAccumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatAccumulator::mean() const {
+  require(count_ > 0, "StatAccumulator::mean on empty accumulator");
+  return mean_;
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double StatAccumulator::min() const {
+  require(count_ > 0, "StatAccumulator::min on empty accumulator");
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  require(count_ > 0, "StatAccumulator::max on empty accumulator");
+  return max_;
+}
+
+void QuantileSketch::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  require(!values_.empty(), "QuantileSketch::quantile on empty sketch");
+  require(q >= 0.0 && q <= 1.0, "QuantileSketch::quantile: q outside [0,1]");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size() - 1) + 0.5);
+  return values_[std::min(rank, values_.size() - 1)];
+}
+
+void RatioOfMeans::add(double numerator, double denominator) {
+  num_sum_ += numerator;
+  den_sum_ += denominator;
+  ++count_;
+}
+
+double RatioOfMeans::value() const {
+  require(den_sum_ != 0.0, "RatioOfMeans::value: zero denominator sum");
+  return num_sum_ / den_sum_;
+}
+
+}  // namespace rbpc

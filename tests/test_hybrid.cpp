@@ -1,0 +1,154 @@
+// Tests for core/hybrid: the local-patch-then-source-reoptimize timeline.
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "lsdb/event_queue.hpp"
+#include "mpls/network.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+TEST(Hybrid, LocalPatchPrecedesSourcePatch) {
+  // 8-ring, LSP 0-1-2-3, fail (2,3): the source (router 0) is two flood
+  // hops away from the failure, so the local patch strictly precedes the
+  // source patch.
+  const Graph g = topo::make_ring(8);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2, 3});
+  lsdb::FloodParams flood{.link_delay = 1.0, .process_delay = 0.0,
+                          .detect_delay = 0.1};
+  const HybridTimeline tl =
+      hybrid_timeline(g, spf::Metric::Hops, lsp, 2, 5.0, flood);
+  ASSERT_TRUE(tl.restored);
+  EXPECT_DOUBLE_EQ(tl.fail_time, 5.0);
+  EXPECT_DOUBLE_EQ(tl.local_patch_time, 5.1);
+  EXPECT_GT(tl.source_patch_time, tl.local_patch_time);
+  // Flood: detect at 5.1 (routers 2, 3), then 2 hops to router 0.
+  EXPECT_DOUBLE_EQ(tl.source_patch_time, 5.1 + 2.0);
+}
+
+TEST(Hybrid, InterimStretchAtLeastOne) {
+  Rng rng(73);
+  const Graph g = topo::make_random_connected(30, 70, rng, 6);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  int evaluated = 0;
+  for (int trial = 0; trial < 30 && evaluated < 15; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path lsp = oracle.canonical_path(s, t);
+    if (lsp.hops() < 1) continue;
+    const std::size_t idx = rng.below(lsp.hops());
+    const HybridTimeline tl = hybrid_timeline(g, spf::Metric::Weighted, lsp,
+                                              idx, 0.0, lsdb::FloodParams{});
+    if (!tl.restored) continue;
+    ++evaluated;
+    EXPECT_GE(tl.interim_stretch, 1.0 - 1e-12);
+    EXPECT_EQ(tl.final_route.source(), s);
+    EXPECT_EQ(tl.final_route.target(), t);
+  }
+  EXPECT_GT(evaluated, 0);
+}
+
+TEST(Hybrid, EndRouteVariant) {
+  const Graph g = topo::make_ring(8);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2, 3});
+  const HybridTimeline tl = hybrid_timeline(
+      g, spf::Metric::Hops, lsp, 2, 0.0, lsdb::FloodParams{},
+      /*use_edge_bypass=*/false);
+  ASSERT_TRUE(tl.restored);
+  // End-route local path: prefix 0-1-2 then 2->3 the long way.
+  EXPECT_EQ(tl.local_route.source(), 0u);
+  EXPECT_EQ(tl.local_route.target(), 3u);
+  EXPECT_GE(tl.local_route.hops(), tl.final_route.hops());
+}
+
+TEST(Hybrid, UnrestorableFailure) {
+  const Graph g = topo::make_chain(4);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2, 3});
+  const HybridTimeline tl =
+      hybrid_timeline(g, spf::Metric::Hops, lsp, 1, 0.0, lsdb::FloodParams{});
+  EXPECT_FALSE(tl.restored);
+  EXPECT_TRUE(tl.final_route.empty());
+}
+
+// Event-driven packet-loss window: periodic traffic over the MPLS tables
+// while the failure, the local splice, and the source FEC rewrite fire at
+// their respective times. The local patch shrinks the loss window from the
+// whole flood delay to just the detection delay.
+TEST(Hybrid, LossWindowShrinksWithLocalPatch) {
+  const Graph g = topo::make_ring(6);
+  const Path lsp_path = Path::from_nodes(g, {0, 1, 2});       // 0 -> 2 via 1
+  const Path detour = Path::from_nodes(g, {1, 0, 5, 4, 3, 2});  // 1 -> 2 long way
+  const Path src_detour = Path::from_nodes(g, {0, 5, 4, 3, 2});
+
+  // Sends are offset from the event instants so the timeline is
+  // unambiguous: sends at 0.25, 0.75, 1.25, ...
+  const double t_fail = 5.0;
+  const double t_detect = 5.8;   // adjacent router splices
+  const double t_source = 9.0;   // flood reaches the source
+  const double period = 0.5;
+  const double first_send = 0.25;
+
+  auto run = [&](bool with_local_patch) {
+    mpls::Network net(g);
+    const auto lsp = net.provision_lsp(lsp_path);
+    const auto bypass = net.provision_lsp(detour);
+    const auto source_route = net.provision_lsp(src_detour);
+    net.set_fec_chain(0, 2, {lsp});
+
+    lsdb::EventQueue q;
+    int delivered = 0;
+    int dropped = 0;
+    for (double t = first_send; t <= 15.0; t += period) {
+      q.schedule_at(t, [&] {
+        if (net.send(0, 2).delivered()) {
+          ++delivered;
+        } else {
+          ++dropped;
+        }
+      });
+    }
+    q.schedule_at(t_fail, [&] {
+      net.set_failures(graph::FailureMask::of_edges({lsp_path.edge(1)}));
+    });
+    if (with_local_patch) {
+      q.schedule_at(t_detect, [&] {
+        net.splice_ilm(lsp, 1, {net.lsp(bypass).ingress_label()});
+      });
+    }
+    q.schedule_at(t_source, [&] {
+      net.set_fec_chain(0, 2, {source_route});
+    });
+    q.run_all();
+    return std::pair<int, int>{delivered, dropped};
+  };
+
+  const auto [d_no_patch, drop_no_patch] = run(false);
+  const auto [d_patch, drop_patch] = run(true);
+  // Without the local patch, every packet in (5.0, 9.0) is lost:
+  // 5.25, 5.75, ..., 8.75 = 8 sends.
+  EXPECT_EQ(drop_no_patch, 8);
+  // With it, only the packets before detection (5.25, 5.75) are lost.
+  EXPECT_EQ(drop_patch, 2);
+  EXPECT_EQ(d_patch, d_no_patch + 6);
+}
+
+TEST(Hybrid, ValidatesFailIndex) {
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  EXPECT_THROW(hybrid_timeline(g, spf::Metric::Hops, lsp, 2, 0.0,
+                               lsdb::FloodParams{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpc::core

@@ -1,0 +1,206 @@
+// Unit tests for core/restoration: source RBPC and the local schemes.
+#include <gtest/gtest.h>
+
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "graph/analysis.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+TEST(SourceRbpc, RestoresAroundSingleFailure) {
+  const Graph g = topo::make_ring(6);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet set(oracle);
+  const Restoration r = source_rbpc_restore(set, 0, 2, FailureMask::of_edges({0}));
+  ASSERT_TRUE(r.restored());
+  EXPECT_EQ(r.backup.source(), 0u);
+  EXPECT_EQ(r.backup.target(), 2u);
+  EXPECT_EQ(r.backup.hops(), 4u);  // around the other side
+  EXPECT_LE(r.pc_length(), 2u);    // Theorem 1, k=1
+  EXPECT_EQ(r.decomposition.joined(), r.backup);
+}
+
+TEST(SourceRbpc, DisconnectedPairNotRestored) {
+  const Graph g = topo::make_chain(3);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet set(oracle);
+  const Restoration r = source_rbpc_restore(set, 0, 2, FailureMask::of_edges({1}));
+  EXPECT_FALSE(r.restored());
+  EXPECT_EQ(r.pc_length(), 0u);
+}
+
+TEST(SourceRbpc, SurvivingShortestPathSinglePiece) {
+  // Failure elsewhere: the original route survives and is one base path.
+  const Graph g = topo::make_ring(6);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet set(oracle);
+  const Restoration r = source_rbpc_restore(set, 0, 2, FailureMask::of_edges({4}));
+  ASSERT_TRUE(r.restored());
+  EXPECT_EQ(r.backup.hops(), 2u);
+  EXPECT_EQ(r.pc_length(), 1u);
+}
+
+TEST(EndRoute, ReroutesFromAdjacentRouter) {
+  // 6-ring, LSP 0-1-2, fail (1,2) = edge 1. R1 = router 1 reroutes to 2
+  // the long way: 1-0-5-4-3-2.
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  const FailureMask mask = FailureMask::of_edges({1});
+  const Path er = end_route_path(g, spf::Metric::Hops, lsp, 1, mask);
+  ASSERT_FALSE(er.empty());
+  EXPECT_EQ(er.nodes(), (std::vector<NodeId>{0, 1, 0, 5, 4, 3, 2}));
+  EXPECT_FALSE(er.simple());  // revisits 0 — faithful to the local scheme
+}
+
+TEST(EndRoute, FirstLinkFailureDegeneratesToSourceReroute) {
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  const FailureMask mask = FailureMask::of_edges({0});
+  const Path er = end_route_path(g, spf::Metric::Hops, lsp, 0, mask);
+  ASSERT_FALSE(er.empty());
+  EXPECT_EQ(er.source(), 0u);
+  EXPECT_EQ(er.target(), 2u);
+  EXPECT_EQ(er.hops(), 4u);  // the full detour
+}
+
+TEST(EndRoute, UnreachableDestinationGivesEmpty) {
+  const Graph g = topo::make_chain(3);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  const FailureMask mask = FailureMask::of_edges({1});
+  EXPECT_TRUE(end_route_path(g, spf::Metric::Hops, lsp, 1, mask).empty());
+}
+
+TEST(EndRoute, ValidatesArguments) {
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  EXPECT_THROW(
+      end_route_path(g, spf::Metric::Hops, lsp, 2, FailureMask::of_edges({0})),
+      PreconditionError);  // fail_index out of range
+  EXPECT_THROW(
+      end_route_path(g, spf::Metric::Hops, lsp, 0, FailureMask::none()),
+      PreconditionError);  // link not failed
+  EXPECT_THROW(
+      end_route_path(g, spf::Metric::Hops, Path{}, 0, FailureMask::none()),
+      PreconditionError);
+}
+
+TEST(EdgeBypass, RoutesAroundLinkAndResumes) {
+  // Grid 3x3: LSP 0-1-2 along the top row; fail (1,2) = the link between
+  // nodes 1 and 2. The bypass goes 1-4-5-2; the route then resumes (and
+  // ends) at 2.
+  const Graph g = topo::make_grid(3, 3);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  const EdgeId failed = lsp.edge(1);
+  FailureMask mask;
+  mask.fail_edge(failed);
+  const Path eb = edge_bypass_path(g, spf::Metric::Hops, lsp, 1, mask);
+  ASSERT_FALSE(eb.empty());
+  EXPECT_EQ(eb.source(), 0u);
+  EXPECT_EQ(eb.target(), 2u);
+  EXPECT_EQ(eb.hops(), 4u);  // 0-1, 1-4, 4-5, 5-2
+  EXPECT_FALSE(eb.uses_edge(failed));
+}
+
+TEST(EdgeBypass, MidPathResumptionKeepsSuffix) {
+  // 6-ring LSP 0-1-2-3; fail (1,2): bypass 1-0-5-4-3-2 then resume 2-3.
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2, 3});
+  FailureMask mask;
+  mask.fail_edge(lsp.edge(1));
+  const Path eb = edge_bypass_path(g, spf::Metric::Hops, lsp, 1, mask);
+  ASSERT_FALSE(eb.empty());
+  EXPECT_EQ(eb.nodes(),
+            (std::vector<NodeId>{0, 1, 0, 5, 4, 3, 2, 3}));
+  // Dilation vs end-route is possible: the bypass walks past 3 to 2 and
+  // back — exactly the inefficiency Figure 10 quantifies.
+  const Path er = end_route_path(g, spf::Metric::Hops, lsp, 1, mask);
+  EXPECT_LE(er.hops(), eb.hops());
+}
+
+TEST(EdgeBypass, BridgeCannotBeBypassed) {
+  const Graph g = topo::make_chain(3);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  FailureMask mask;
+  mask.fail_edge(lsp.edge(1));
+  EXPECT_TRUE(edge_bypass_path(g, spf::Metric::Hops, lsp, 1, mask).empty());
+}
+
+TEST(EdgeBypass, WeightedBypassMinimizesCost) {
+  // Triangle with heavy detour: 0-1 (1), 1-2 (1), 0-2 (10); LSP 0-1, fail
+  // (0,1): bypass 0-2-1 costs 11 but is the only option.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(0, 2, 10);
+  const Graph g = b.build();
+  const Path lsp = Path::from_nodes(g, {0, 1});
+  FailureMask mask;
+  mask.fail_edge(lsp.edge(0));
+  const Path eb = edge_bypass_path(g, spf::Metric::Weighted, lsp, 0, mask);
+  ASSERT_FALSE(eb.empty());
+  EXPECT_EQ(eb.cost(g), 11);
+}
+
+TEST(LocalSchemes, AgreeWhenFailureIsLastLink) {
+  // When the failed link is the last one, end-route and edge-bypass
+  // coincide (both route R1 -> destination).
+  const Graph g = topo::make_ring(6);
+  const Path lsp = Path::from_nodes(g, {0, 1, 2});
+  FailureMask mask;
+  mask.fail_edge(lsp.edge(1));
+  const Path er = end_route_path(g, spf::Metric::Hops, lsp, 1, mask);
+  const Path eb = edge_bypass_path(g, spf::Metric::Hops, lsp, 1, mask);
+  EXPECT_EQ(er.nodes(), eb.nodes());
+}
+
+TEST(LocalSchemes, RandomGraphInvariants) {
+  Rng rng(51);
+  const Graph g = topo::make_random_connected(40, 100, rng, 8);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path lsp = oracle.canonical_path(s, t);
+    if (lsp.hops() < 1) continue;
+    const std::size_t idx = rng.below(lsp.hops());
+    FailureMask mask;
+    mask.fail_edge(lsp.edge(idx));
+
+    const Path best = spf::shortest_path(g, s, t, mask);
+    const Path er = end_route_path(g, spf::Metric::Weighted, lsp, idx, mask);
+    const Path eb = edge_bypass_path(g, spf::Metric::Weighted, lsp, idx, mask);
+    if (best.empty()) {
+      EXPECT_TRUE(er.empty());
+      continue;
+    }
+    // Both local routes are valid s->t routes avoiding the failure and cost
+    // at least the optimum.
+    for (const Path* p : {&er, &eb}) {
+      if (p->empty()) continue;  // bypass may not exist
+      EXPECT_EQ(p->source(), s);
+      EXPECT_EQ(p->target(), t);
+      EXPECT_TRUE(p->alive(g, mask));
+      EXPECT_GE(p->cost(g), best.cost(g));
+    }
+    // End-route from R1 is optimal from R1 onward, so it never exceeds
+    // edge-bypass.
+    if (!er.empty() && !eb.empty()) {
+      EXPECT_LE(er.cost(g), eb.cost(g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbpc::core

@@ -1,0 +1,159 @@
+// Unit tests for core/scenario: the paper's failure-sampling methodology.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scenario.hpp"
+#include "spf/oracle.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(SamplePair, ProducesConnectedDistinctPairs) {
+  const Graph g = topo::make_ring(10);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const SamplePair p = sample_pair(oracle, rng);
+    EXPECT_NE(p.src, p.dst);
+    ASSERT_FALSE(p.lsp.empty());
+    EXPECT_EQ(p.lsp.source(), p.src);
+    EXPECT_EQ(p.lsp.target(), p.dst);
+  }
+}
+
+TEST(SamplePair, SkipsDisconnectedPairs) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const SamplePair p = sample_pair(oracle, rng);
+    // Pairs are always within a component.
+    EXPECT_TRUE((p.src <= 1 && p.dst <= 1) || (p.src >= 2 && p.dst >= 2));
+  }
+}
+
+TEST(SamplePair, IsDeterministicPerSeed) {
+  const Graph g = topo::make_ring(12);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    const SamplePair pa = sample_pair(oracle, a);
+    const SamplePair pb = sample_pair(oracle, b);
+    EXPECT_EQ(pa.src, pb.src);
+    EXPECT_EQ(pa.dst, pb.dst);
+    EXPECT_EQ(pa.lsp, pb.lsp);
+  }
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest()
+      : g_(topo::make_ring(8)),
+        oracle_(g_, FailureMask{}, spf::Metric::Hops),
+        rng_(5) {
+    // Fixed pair with a 3-hop LSP: 0 -> 3.
+    pair_.src = 0;
+    pair_.dst = 3;
+    pair_.lsp = oracle_.canonical_path(0, 3);
+  }
+  Graph g_;
+  spf::DistanceOracle oracle_;
+  Rng rng_;
+  SamplePair pair_;
+};
+
+TEST_F(ScenarioTest, OneLinkFailsEachLspLink) {
+  const auto scenarios = scenarios_for(pair_, FailureClass::OneLink, rng_);
+  ASSERT_EQ(scenarios.size(), 3u);
+  std::set<graph::EdgeId> failed;
+  for (const auto& sc : scenarios) {
+    ASSERT_EQ(sc.failed_edges.size(), 1u);
+    EXPECT_TRUE(sc.mask.edge_failed(sc.failed_edges[0]));
+    EXPECT_TRUE(pair_.lsp.uses_edge(sc.failed_edges[0]));
+    failed.insert(sc.failed_edges[0]);
+  }
+  EXPECT_EQ(failed.size(), 3u);  // all distinct
+}
+
+TEST_F(ScenarioTest, TwoLinksEnumeratesPairs) {
+  const auto scenarios = scenarios_for(pair_, FailureClass::TwoLinks, rng_);
+  EXPECT_EQ(scenarios.size(), 3u);  // C(3,2)
+  for (const auto& sc : scenarios) {
+    EXPECT_EQ(sc.failed_edges.size(), 2u);
+    EXPECT_NE(sc.failed_edges[0], sc.failed_edges[1]);
+    EXPECT_EQ(sc.mask.failed_edge_count(), 2u);
+  }
+}
+
+TEST_F(ScenarioTest, OneRouterFailsInteriorOnly) {
+  const auto scenarios = scenarios_for(pair_, FailureClass::OneRouter, rng_);
+  ASSERT_EQ(scenarios.size(), 2u);  // routers 1, 2
+  for (const auto& sc : scenarios) {
+    ASSERT_EQ(sc.failed_nodes.size(), 1u);
+    const NodeId v = sc.failed_nodes[0];
+    EXPECT_NE(v, pair_.src);
+    EXPECT_NE(v, pair_.dst);
+    EXPECT_TRUE(sc.mask.node_failed(v));
+  }
+}
+
+TEST_F(ScenarioTest, TwoRoutersEnumeratesInteriorPairs) {
+  const auto scenarios = scenarios_for(pair_, FailureClass::TwoRouters, rng_);
+  EXPECT_EQ(scenarios.size(), 1u);  // C(2,2)
+  EXPECT_EQ(scenarios[0].failed_nodes.size(), 2u);
+}
+
+TEST_F(ScenarioTest, AdjacentPairHasNoRouterScenarios) {
+  SamplePair adj;
+  adj.src = 0;
+  adj.dst = 1;
+  adj.lsp = oracle_.canonical_path(0, 1);
+  EXPECT_TRUE(scenarios_for(adj, FailureClass::OneRouter, rng_).empty());
+  EXPECT_TRUE(scenarios_for(adj, FailureClass::TwoLinks, rng_).empty());
+  EXPECT_EQ(scenarios_for(adj, FailureClass::OneLink, rng_).size(), 1u);
+}
+
+TEST_F(ScenarioTest, CapLimitsCombinatorialCases) {
+  // Long LSP on a big ring: 0 -> 10 has 10 links -> C(10,2) = 45 pairs.
+  const Graph big = topo::make_ring(21);
+  spf::DistanceOracle oracle(big, FailureMask{}, spf::Metric::Hops);
+  SamplePair pair;
+  pair.src = 0;
+  pair.dst = 10;
+  pair.lsp = oracle.canonical_path(0, 10);
+  ASSERT_EQ(pair.lsp.hops(), 10u);
+  const auto capped = scenarios_for(pair, FailureClass::TwoLinks, rng_, 10);
+  EXPECT_EQ(capped.size(), 10u);
+  const auto full = scenarios_for(pair, FailureClass::TwoLinks, rng_, 1000);
+  EXPECT_EQ(full.size(), 45u);
+}
+
+TEST_F(ScenarioTest, ToStringCoversClasses) {
+  EXPECT_STREQ(to_string(FailureClass::OneLink), "one link failure");
+  EXPECT_STREQ(to_string(FailureClass::TwoLinks), "two link failures");
+  EXPECT_STREQ(to_string(FailureClass::OneRouter), "one router failure");
+  EXPECT_STREQ(to_string(FailureClass::TwoRouters), "two router failures");
+}
+
+TEST_F(ScenarioTest, ValidatesArguments) {
+  SamplePair empty;
+  EXPECT_THROW(scenarios_for(empty, FailureClass::OneLink, rng_),
+               PreconditionError);
+  EXPECT_THROW(scenarios_for(pair_, FailureClass::OneLink, rng_, 0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpc::core

@@ -1,0 +1,342 @@
+// Unit tests for src/spf: BFS/Dijkstra trees, padding, counting, oracle,
+// bypass.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "spf/bypass.hpp"
+#include "spf/counting.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::spf {
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Path;
+using graph::Weight;
+
+// A weighted diamond: 0-1 (1), 0-2 (4), 1-3 (2), 2-3 (1), 1-2 (1).
+Graph diamond() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 4);
+  b.add_edge(1, 3, 2);
+  b.add_edge(2, 3, 1);
+  b.add_edge(1, 2, 1);
+  return b.build();
+}
+
+TEST(Spf, WeightedDistances) {
+  const Graph g = diamond();
+  const auto tree = shortest_tree(g, 0);
+  EXPECT_EQ(tree.dist(0), 0);
+  EXPECT_EQ(tree.dist(1), 1);
+  EXPECT_EQ(tree.dist(2), 2);  // via 1
+  EXPECT_EQ(tree.dist(3), 3);  // 0-1-3 or 0-1-2-3
+}
+
+TEST(Spf, HopDistancesUseBfs) {
+  const Graph g = diamond();
+  const auto tree = shortest_tree(g, 0, FailureMask::none(),
+                                  SpfOptions{.metric = Metric::Hops});
+  EXPECT_EQ(tree.dist(3), 2);
+  EXPECT_EQ(tree.hops(3), 2u);
+  EXPECT_EQ(tree.metric(), Metric::Hops);
+}
+
+TEST(Spf, PathReconstruction) {
+  const Graph g = diamond();
+  const auto tree = shortest_tree(g, 0);
+  const Path p = tree.path_to(g, 3);
+  EXPECT_EQ(p.source(), 0u);
+  EXPECT_EQ(p.target(), 3u);
+  EXPECT_EQ(p.cost(g), 3);
+  EXPECT_TRUE(p.simple());
+}
+
+TEST(Spf, UnreachableAfterFailure) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto tree =
+      shortest_tree(g, 0, FailureMask::of_edges({1}), SpfOptions{});
+  EXPECT_TRUE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(2));
+  EXPECT_EQ(tree.dist(2), graph::kUnreachable);
+  EXPECT_THROW(tree.path_to(g, 2), PreconditionError);
+}
+
+TEST(Spf, FailedSourceRejected) {
+  const Graph g = diamond();
+  EXPECT_THROW(
+      shortest_tree(g, 0, FailureMask::of_nodes({0}), SpfOptions{}),
+      PreconditionError);
+}
+
+TEST(Spf, NodeFailureReroutesAroundIt) {
+  const Graph g = diamond();
+  const Path p = shortest_path(g, 0, 3, FailureMask::of_nodes({1}));
+  EXPECT_EQ(p.nodes(), (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(p.cost(g), 5);
+}
+
+TEST(Spf, SinglePairAndDistanceHelpers) {
+  const Graph g = diamond();
+  EXPECT_EQ(distance(g, 0, 3), 3);
+  // Strict-improvement relaxation settles 3 via the direct (1,3) edge.
+  EXPECT_EQ(shortest_path(g, 0, 3).hops(), 2u);
+  EXPECT_TRUE(shortest_path(g, 0, 0).hops() == 0u);
+}
+
+TEST(Spf, DisconnectedPairGivesEmptyPath) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(shortest_path(g, 0, 3).empty());
+  EXPECT_EQ(distance(g, 0, 3), graph::kUnreachable);
+}
+
+TEST(Spf, ParallelEdgesUseCheapest) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  const EdgeId cheap = b.add_edge(0, 1, 2);
+  const Graph g = b.build();
+  const Path p = shortest_path(g, 0, 1);
+  EXPECT_EQ(p.edge(0), cheap);
+  EXPECT_EQ(p.cost(g), 2);
+}
+
+TEST(Spf, DirectedGraphRespectsOrientation) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(distance(g, 0, 2), 2);
+  EXPECT_EQ(distance(g, 2, 1), 2);  // must go 2->0->1
+}
+
+// --- padding / canonical paths ---------------------------------------------------
+
+TEST(Padding, SaltsAreStableAndInRange) {
+  for (EdgeId e = 0; e < 1000; ++e) {
+    const Weight s = padding_salt(e);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, kMaxSalt);
+    EXPECT_EQ(s, padding_salt(e));  // deterministic
+  }
+}
+
+TEST(Padding, PaddedTreePreservesTrueDistances) {
+  Rng rng(5);
+  const Graph g = topo::make_random_connected(40, 90, rng, 10);
+  const auto plain = shortest_tree(g, 0);
+  const auto padded = shortest_tree(g, 0, FailureMask::none(),
+                                    SpfOptions{.padded = true});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(plain.dist(v), padded.dist(v)) << "node " << v;
+  }
+}
+
+TEST(Padding, CanonicalPathsAreSubpathConsistent) {
+  // Subpaths of padded-unique shortest paths are themselves the canonical
+  // paths of their endpoints (Theorem 3's base-set property).
+  Rng rng(7);
+  const Graph g = topo::make_random_connected(30, 60, rng, 5);
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  for (NodeId s = 0; s < 10; ++s) {
+    const Path p = oracle.canonical_path(s, 29);
+    if (p.empty()) continue;
+    for (std::size_t i = 0; i < p.num_nodes(); ++i) {
+      for (std::size_t j = i + 1; j < p.num_nodes(); ++j) {
+        const Path sub = p.subpath(i, j);
+        EXPECT_EQ(sub, oracle.canonical_path(sub.source(), sub.target()))
+            << "subpath " << sub.to_string();
+      }
+    }
+  }
+}
+
+TEST(Padding, CanonicalPathDeterministicAcrossRuns) {
+  Rng rng(9);
+  const Graph g = topo::make_random_connected(25, 50, rng, 3);
+  DistanceOracle o1(g, FailureMask{}, Metric::Weighted);
+  DistanceOracle o2(g, FailureMask{}, Metric::Weighted);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(o1.canonical_path(0, v), o2.canonical_path(0, v));
+  }
+}
+
+// --- counting ----------------------------------------------------------------------
+
+TEST(Counting, GridHasBinomialPathCounts) {
+  // On an n x n unit grid the number of shortest corner-to-corner paths is
+  // C(2(n-1), n-1).
+  const Graph g = topo::make_grid(3, 3);
+  const auto counts = count_shortest_paths(g, 0, FailureMask::none(),
+                                           Metric::Hops);
+  EXPECT_EQ(counts[8], 6u);  // C(4,2)
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[2], 1u);  // straight line along the row
+}
+
+TEST(Counting, ParallelEdgesCountSeparately) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(count_shortest_paths_pair(g, 0, 1), 2u);
+}
+
+TEST(Counting, RespectsFailures) {
+  const Graph g = topo::make_grid(2, 2);
+  EXPECT_EQ(count_shortest_paths_pair(g, 0, 3, FailureMask::none(),
+                                      Metric::Hops),
+            2u);
+  EXPECT_EQ(count_shortest_paths_pair(g, 0, 3, FailureMask::of_edges({0}),
+                                      Metric::Hops),
+            1u);
+}
+
+TEST(Counting, UnreachableIsZero) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(count_shortest_paths_pair(g, 0, 2), 0u);
+}
+
+TEST(Counting, WeightedTiesCounted) {
+  const Graph g = diamond();
+  // 0->3: 0-1-3 (1+2=3) and 0-1-2-3 (1+1+1=3).
+  EXPECT_EQ(count_shortest_paths_pair(g, 0, 3), 2u);
+}
+
+// --- oracle -------------------------------------------------------------------------
+
+TEST(Oracle, DistMatchesDirectDijkstra) {
+  Rng rng(11);
+  const Graph g = topo::make_random_connected(30, 70, rng, 8);
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(oracle.dist(u, v), distance(g, u, v));
+    }
+  }
+}
+
+TEST(Oracle, IsShortestAcceptsAnyShortestPath) {
+  const Graph g = diamond();
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  const Path a = Path::from_nodes(g, {0, 1, 3});
+  const Path b = Path::from_nodes(g, {0, 1, 2, 3});
+  EXPECT_TRUE(oracle.is_shortest(a));
+  EXPECT_TRUE(oracle.is_shortest(b));
+  const Path c = Path::from_nodes(g, {0, 2, 3});
+  EXPECT_FALSE(oracle.is_shortest(c));  // cost 5 > 3
+}
+
+TEST(Oracle, IsCanonicalAcceptsExactlyOne) {
+  const Graph g = diamond();
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  const Path a = Path::from_nodes(g, {0, 1, 3});
+  const Path b = Path::from_nodes(g, {0, 1, 2, 3});
+  EXPECT_NE(oracle.is_canonical(a), oracle.is_canonical(b));
+}
+
+TEST(Oracle, TrivialSegmentsAreMembers) {
+  const Graph g = diamond();
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  EXPECT_TRUE(oracle.is_shortest(Path{}));
+  EXPECT_TRUE(oracle.is_shortest(Path::trivial(2)));
+  EXPECT_TRUE(oracle.is_canonical(Path::trivial(2)));
+}
+
+TEST(Oracle, HonorsItsFailureMask) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(0, 2, 5);
+  const Graph g = b.build();
+  DistanceOracle oracle(g, FailureMask::of_edges({0}), Metric::Weighted);
+  EXPECT_EQ(oracle.dist(0, 2), 5);
+  EXPECT_EQ(oracle.some_shortest_path(0, 2).hops(), 1u);
+}
+
+TEST(Oracle, CacheEvictionKeepsAnswersCorrect) {
+  Rng rng(13);
+  const Graph g = topo::make_random_connected(20, 40, rng, 4);
+  DistanceOracle bounded(g, FailureMask{}, Metric::Weighted,
+                         /*max_cached_trees=*/2);
+  DistanceOracle unbounded(g, FailureMask{}, Metric::Weighted);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(bounded.dist(u, v), unbounded.dist(u, v));
+    }
+  }
+  EXPECT_GT(bounded.spf_runs(), 0u);
+}
+
+TEST(Oracle, SymmetricLookupAvoidsExtraSpf) {
+  const Graph g = diamond();
+  DistanceOracle oracle(g, FailureMask{}, Metric::Weighted);
+  (void)oracle.dist(0, 3);
+  const std::size_t runs = oracle.spf_runs();
+  // Undirected: dist(3, 0) can be served from the cached tree at 0.
+  (void)oracle.dist(3, 0);
+  EXPECT_EQ(oracle.spf_runs(), runs);
+}
+
+// --- bypass -------------------------------------------------------------------------
+
+TEST(Bypass, TriangleEdgeHasTwoHopBypass) {
+  GraphBuilder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 0, 1);
+  const Graph g = b.build();
+  const Path byp = min_cost_bypass(g, e01);
+  EXPECT_EQ(byp.hops(), 2u);
+  EXPECT_EQ(byp.source(), 0u);
+  EXPECT_EQ(byp.target(), 1u);
+  EXPECT_FALSE(byp.uses_edge(e01));
+}
+
+TEST(Bypass, BridgeHasNoBypass) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const EdgeId bridge = b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(min_cost_bypass(g, bridge).empty());
+}
+
+TEST(Bypass, ParallelTwinGivesOneHopBypass) {
+  GraphBuilder b(2);
+  const EdgeId a = b.add_edge(0, 1, 1);
+  const EdgeId twin = b.add_edge(0, 1, 3);
+  const Graph g = b.build();
+  const Path byp = min_cost_bypass(g, a);
+  EXPECT_EQ(byp.hops(), 1u);
+  EXPECT_EQ(byp.edge(0), twin);
+}
+
+TEST(Bypass, RespectsExistingMask) {
+  // Square 0-1-2-3-0: bypassing (0,1) normally takes 0-3-2-1; with (2,3)
+  // also failed there is no bypass.
+  const Graph g = topo::make_ring(4);
+  const Path byp = min_cost_bypass(g, 0);
+  EXPECT_EQ(byp.hops(), 3u);
+  EXPECT_TRUE(min_cost_bypass(g, 0, FailureMask::of_edges({2})).empty());
+}
+
+}  // namespace
+}  // namespace rbpc::spf

@@ -1,0 +1,181 @@
+// Tests for the SPF extras: Floyd–Warshall APSP (oracle) and bidirectional
+// Dijkstra, cross-checked against each other and against plain Dijkstra.
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "spf/apsp.hpp"
+#include "spf/bidirectional.hpp"
+#include "spf/spf.hpp"
+#include "topo/gadgets.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::spf {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(Apsp, MatchesDijkstraOnSmallGraphs) {
+  Rng rng(121);
+  const Graph g = topo::make_random_connected(25, 60, rng, 9);
+  const ApspMatrix apsp(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto tree = shortest_tree(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(apsp.dist(s, t), tree.dist(t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(Apsp, HopMetricAndMask) {
+  const Graph g = topo::make_ring(8);
+  const ApspMatrix apsp(g, FailureMask::of_edges({0}), Metric::Hops);
+  EXPECT_EQ(apsp.dist(0, 1), 7);  // the long way
+  EXPECT_EQ(apsp.dist(2, 4), 2);
+  EXPECT_TRUE(apsp.reachable(0, 4));
+}
+
+TEST(Apsp, DisconnectedAndFailedNodes) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const ApspMatrix apsp(g);
+  EXPECT_FALSE(apsp.reachable(0, 3));
+  EXPECT_EQ(apsp.dist(0, 0), 0);
+
+  const ApspMatrix masked(g, FailureMask::of_nodes({1}));
+  EXPECT_FALSE(masked.reachable(0, 1));
+  EXPECT_FALSE(masked.reachable(1, 1));  // failed node unreachable from self
+}
+
+TEST(Apsp, DirectedRespected) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  const ApspMatrix apsp(g);
+  EXPECT_EQ(apsp.dist(0, 2), 2);
+  EXPECT_FALSE(apsp.reachable(2, 0));
+}
+
+TEST(Apsp, DiameterOfGadgets) {
+  // Two-level star: everything within 2 via the hub.
+  const auto star = topo::make_two_level_star(12);
+  EXPECT_EQ(ApspMatrix(star.g, FailureMask::none(), Metric::Hops).diameter(),
+            2);
+  const Graph ring = topo::make_ring(10);
+  EXPECT_EQ(ApspMatrix(ring, FailureMask::none(), Metric::Hops).diameter(), 5);
+}
+
+TEST(Bidirectional, MatchesDijkstraCosts) {
+  Rng rng(127);
+  const Graph g = topo::make_random_connected(60, 150, rng, 12);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const auto bi = bidirectional_shortest_path(g, s, t);
+    EXPECT_EQ(bi.cost, distance(g, s, t)) << s << "->" << t;
+    ASSERT_FALSE(bi.path.empty());
+    EXPECT_EQ(bi.path.source(), s);
+    EXPECT_EQ(bi.path.target(), t);
+    EXPECT_EQ(bi.path.cost(g), bi.cost);
+  }
+}
+
+TEST(Bidirectional, MatchesUnderFailures) {
+  Rng rng(131);
+  const Graph g = topo::make_random_connected(40, 90, rng, 6);
+  for (int trial = 0; trial < 40; ++trial) {
+    FailureMask mask;
+    for (auto e : rng.sample_distinct(g.num_edges(), 3)) {
+      mask.fail_edge(static_cast<graph::EdgeId>(e));
+    }
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const auto bi = bidirectional_shortest_path(g, s, t, mask);
+    const auto want = distance(g, s, t, mask);
+    EXPECT_EQ(bi.cost, want);
+    if (want != graph::kUnreachable) {
+      EXPECT_TRUE(bi.path.alive(g, mask));
+    } else {
+      EXPECT_TRUE(bi.path.empty());
+    }
+  }
+}
+
+TEST(Bidirectional, HopMetric) {
+  const Graph g = topo::make_grid(4, 4);
+  const auto bi =
+      bidirectional_shortest_path(g, 0, 15, FailureMask::none(), Metric::Hops);
+  EXPECT_EQ(bi.cost, 6);
+  EXPECT_EQ(bi.path.hops(), 6u);
+}
+
+TEST(Bidirectional, SettlesFewerNodesThanFullDijkstraOnMeshes) {
+  Rng rng(137);
+  const Graph g = topo::make_as_like(rng, 0.2);  // ~950 nodes
+  std::size_t fewer = 0;
+  int evaluated = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    ++evaluated;
+    const auto bi = bidirectional_shortest_path(g, s, t, FailureMask::none(),
+                                                Metric::Hops);
+    if (bi.settled < g.num_nodes() / 2) ++fewer;
+  }
+  // On power-law meshes, the meet-in-the-middle frontier is usually tiny.
+  EXPECT_GT(fewer * 2, static_cast<std::size_t>(evaluated));
+}
+
+TEST(Bidirectional, Validation) {
+  const Graph g = topo::make_ring(4);
+  EXPECT_THROW(bidirectional_shortest_path(g, 0, 0), PreconditionError);
+  EXPECT_THROW(bidirectional_shortest_path(g, 0, 9), PreconditionError);
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph dg = b.build();
+  EXPECT_THROW(bidirectional_shortest_path(dg, 0, 2), PreconditionError);
+}
+
+// --- DOT export ----------------------------------------------------------------
+
+TEST(Dot, ContainsNodesEdgesAndHighlights) {
+  const Graph g = topo::make_ring(4);
+  graph::DotOptions opts;
+  opts.failures.fail_edge(2);
+  opts.highlight = graph::Path::from_nodes(g, {0, 1});
+  const std::string dot = graph::to_dot(g, opts);
+  EXPECT_NE(dot.find("graph rbpc {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("color=red style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue penwidth=2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);  // weight label
+}
+
+TEST(Dot, DirectedUsesArrows) {
+  graph::GraphBuilder b(2, /*directed=*/true);
+  b.add_edge(0, 1);
+  const std::string dot = graph::to_dot(b.build());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, WeightsCanBeHidden) {
+  const Graph g = topo::make_ring(3, 42);
+  graph::DotOptions opts;
+  opts.show_weights = false;
+  EXPECT_EQ(graph::to_dot(g, opts).find("label=\"42\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbpc::spf

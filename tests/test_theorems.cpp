@@ -1,0 +1,366 @@
+// Property tests for the paper's theory (Section 3).
+//
+// Theorem 1: after k edge failures in an unweighted network, each new
+//   shortest path is a concatenation of at most k + 1 original shortest
+//   paths. Verified on random-graph sweeps (greedy decomposition is optimal
+//   for the subpath-closed all-pairs set, so its piece count is a valid
+//   witness) and shown tight on the comb gadget (Figure 2).
+//
+// Theorem 2: weighted networks need at most k + 1 original shortest paths
+//   interleaved with k loose edges (total 2k + 1 components). Verified on
+//   weighted sweeps; tight on the weighted-chain gadget (Figure 3).
+//
+// Theorem 3: a single-shortest-path-per-pair base set (deterministic
+//   padding) suffices for the Theorem-2 bound. Verified on sweeps with the
+//   canonical base set; the parallel-chain example shows 2k + 1 components
+//   are really needed for a padded base set.
+//
+// Negative results: router failures can force ~(n-2)/2 components (Figure
+//   4 gadget); the theorems fail on directed graphs (Figure 5 gadget); the
+//   4-cycle needs 3 components for some single failure under any
+//   one-path-per-pair base set.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "graph/analysis.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/gadgets.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+/// Fails k distinct random edges.
+FailureMask random_edge_failures(const Graph& g, std::size_t k, Rng& rng) {
+  FailureMask mask;
+  for (auto e : rng.sample_distinct(g.num_edges(), k)) {
+    mask.fail_edge(static_cast<EdgeId>(e));
+  }
+  return mask;
+}
+
+// --- Theorem 1 sweep --------------------------------------------------------------
+
+// Parameters: (nodes, edges, k failures, seed).
+class Theorem1Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Theorem1Sweep, NewShortestPathNeedsAtMostKPlus1Pieces) {
+  const auto [n, m, k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = topo::make_random_connected(static_cast<std::size_t>(n),
+                                        static_cast<std::size_t>(m), rng, 1);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet base(oracle);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const FailureMask mask =
+        random_edge_failures(g, static_cast<std::size_t>(k), rng);
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path backup = spf::shortest_path(
+        g, s, t, mask,
+        spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+    if (backup.empty()) continue;  // disconnected by the failures
+
+    const Decomposition d = greedy_decompose(base, backup);
+    EXPECT_EQ(d.joined(), backup);
+    // Unweighted simple graph: every edge is itself a shortest path, so
+    // every piece is a base path, and Theorem 1 bounds the count.
+    EXPECT_EQ(d.edge_count(), 0u);
+    EXPECT_LE(d.size(), static_cast<std::size_t>(k) + 1)
+        << "k=" << k << " backup=" << backup.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnweighted, Theorem1Sweep,
+    ::testing::Values(std::make_tuple(12, 20, 1, 101),
+                      std::make_tuple(12, 20, 2, 102),
+                      std::make_tuple(20, 40, 1, 103),
+                      std::make_tuple(20, 40, 3, 104),
+                      std::make_tuple(30, 60, 2, 105),
+                      std::make_tuple(30, 60, 4, 106),
+                      std::make_tuple(40, 70, 5, 107),
+                      std::make_tuple(50, 120, 3, 108),
+                      std::make_tuple(60, 110, 6, 109)));
+
+// --- Theorem 2 sweep ---------------------------------------------------------------
+
+class Theorem2Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Theorem2Sweep, WeightedNeedsAtMost2KPlus1Components) {
+  const auto [n, m, k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = topo::make_random_connected(static_cast<std::size_t>(n),
+                                        static_cast<std::size_t>(m), rng, 20);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  AllPairsShortestBaseSet base(oracle);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const FailureMask mask =
+        random_edge_failures(g, static_cast<std::size_t>(k), rng);
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path backup =
+        spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
+    if (backup.empty()) continue;
+
+    const Decomposition d = greedy_decompose(base, backup);
+    EXPECT_EQ(d.joined(), backup);
+    // Theorem 2: some decomposition uses <= k+1 paths and <= k edges;
+    // greedy minimizes the total count, so it is within 2k+1.
+    EXPECT_LE(d.size(), 2 * static_cast<std::size_t>(k) + 1)
+        << "k=" << k << " backup=" << backup.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWeighted, Theorem2Sweep,
+    ::testing::Values(std::make_tuple(12, 20, 1, 201),
+                      std::make_tuple(12, 24, 2, 202),
+                      std::make_tuple(20, 40, 1, 203),
+                      std::make_tuple(20, 40, 3, 204),
+                      std::make_tuple(30, 60, 2, 205),
+                      std::make_tuple(30, 70, 4, 206),
+                      std::make_tuple(40, 80, 5, 207),
+                      std::make_tuple(50, 120, 3, 208)));
+
+// --- Theorem 3 sweep (canonical one-path-per-pair base set) ---------------------------
+
+class Theorem3Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Theorem3Sweep, CanonicalBaseSetAchievesTheorem2Bound) {
+  const auto [n, m, k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = topo::make_random_connected(static_cast<std::size_t>(n),
+                                        static_cast<std::size_t>(m), rng, 15);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  CanonicalBaseSet base(oracle);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const FailureMask mask =
+        random_edge_failures(g, static_cast<std::size_t>(k), rng);
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    // The padded restoration route decomposes against the padded base set.
+    const Path backup =
+        spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
+    if (backup.empty()) continue;
+
+    const Decomposition d = greedy_decompose(base, backup);
+    EXPECT_EQ(d.joined(), backup);
+    EXPECT_LE(d.size(), 2 * static_cast<std::size_t>(k) + 1)
+        << "k=" << k << " backup=" << backup.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCanonical, Theorem3Sweep,
+    ::testing::Values(std::make_tuple(12, 20, 1, 301),
+                      std::make_tuple(20, 40, 2, 302),
+                      std::make_tuple(30, 60, 3, 303),
+                      std::make_tuple(40, 80, 4, 304),
+                      std::make_tuple(25, 50, 5, 305)));
+
+// --- Corollary 4 sweep: expanded set avoids loose edges for k = 1 ---------------------
+
+TEST(Corollary4, ExpandedSetCoversOneFailureWithTwoBasePieces) {
+  Rng rng(401);
+  const Graph g = topo::make_random_connected(25, 55, rng, 9);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  ExpandedBaseSet expanded(oracle);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgeId fail = static_cast<EdgeId>(rng.below(g.num_edges()));
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path backup = spf::shortest_path(g, s, t, FailureMask::of_edges({fail}),
+                                           spf::SpfOptions{.padded = true});
+    if (backup.empty()) continue;
+    const Decomposition d = greedy_decompose(expanded, backup);
+    EXPECT_EQ(d.joined(), backup);
+    // Corollary 4 with k = 1: two expanded-base paths suffice (no loose
+    // edges needed).
+    EXPECT_LE(d.size(), 2u) << backup.to_string();
+    EXPECT_EQ(d.edge_count(), 0u) << backup.to_string();
+  }
+}
+
+// --- tightness gadgets ------------------------------------------------------------------
+
+class CombTightness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombTightness, NeedsExactlyKPlus1Pieces) {
+  const std::size_t k = static_cast<std::size_t>(GetParam());
+  const auto comb = topo::make_comb(k);
+  spf::DistanceOracle oracle(comb.g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet base(oracle);
+  const FailureMask mask = FailureMask::of_edges(comb.spine_edges);
+  const Path backup = spf::shortest_path(
+      comb.g, comb.s, comb.t, mask,
+      spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+  ASSERT_FALSE(backup.empty());
+  EXPECT_EQ(backup.hops(), 2 * k);
+  const Decomposition d = greedy_decompose(base, backup);
+  // Greedy is optimal for the all-pairs set, so this witnesses both the
+  // upper bound (Theorem 1) and the tightness of the comb example.
+  EXPECT_EQ(d.size(), k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure2, CombTightness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+class WeightedChainTightness : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedChainTightness, NeedsKPlus1PathsAndKEdges) {
+  const std::size_t k = static_cast<std::size_t>(GetParam());
+  const auto chain = topo::make_weighted_chain(k);
+  spf::DistanceOracle oracle(chain.g, FailureMask{}, spf::Metric::Weighted);
+  AllPairsShortestBaseSet base(oracle);
+  const FailureMask mask = FailureMask::of_edges(chain.cheap_parallel_edges);
+  const Path backup = spf::shortest_path(chain.g, chain.s, chain.t, mask,
+                                         spf::SpfOptions{.padded = true});
+  ASSERT_FALSE(backup.empty());
+  const Decomposition d = greedy_decompose(base, backup);
+  EXPECT_EQ(d.base_count(), k + 1);
+  EXPECT_EQ(d.edge_count(), k);
+  EXPECT_EQ(d.size(), 2 * k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure3, WeightedChainTightness,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Theorem3Tightness, ParallelChainForces2KPlus1Components) {
+  // The paper's parallel-chain discussion: with a padded base set, failing
+  // the canonical edge of each odd consecutive pair forces 2k+1 components.
+  const std::size_t k = 3;
+  const auto pc = topo::make_parallel_chain(k);
+  spf::DistanceOracle oracle(pc.g, FailureMask{}, spf::Metric::Hops);
+  CanonicalBaseSet base(oracle);
+
+  // Identify the canonical (padding-chosen) edge of each pair and fail the
+  // odd ones (pairs 1, 3, 5, ...).
+  FailureMask mask;
+  std::size_t failed = 0;
+  for (std::size_t i = 1; i < pc.pairs.size() && failed < k; i += 2) {
+    const NodeId u = static_cast<NodeId>(i);
+    const Path canon = oracle.canonical_path(u, u + 1);
+    ASSERT_EQ(canon.hops(), 1u);
+    mask.fail_edge(canon.edge(0));
+    ++failed;
+  }
+  ASSERT_EQ(failed, k);
+
+  const Path backup = spf::shortest_path(
+      pc.g, pc.s, pc.t, mask,
+      spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+  ASSERT_FALSE(backup.empty());
+  const Decomposition d = greedy_decompose(base, backup);
+  EXPECT_EQ(d.size(), 2 * k + 1);
+  EXPECT_EQ(d.edge_count(), k);  // the k non-canonical twins
+}
+
+TEST(FourCycleNegative, SomeSingleFailureNeedsThreeComponents) {
+  // For any one-path-per-pair base set on C4, some single link failure
+  // requires 3 components. Check that the padding-chosen set exhibits it.
+  const Graph g = topo::make_four_cycle();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  CanonicalBaseSet base(oracle);
+
+  std::size_t worst = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const FailureMask mask = FailureMask::of_edges({e});
+    for (NodeId s = 0; s < 4; ++s) {
+      for (NodeId t = 0; t < 4; ++t) {
+        if (s == t) continue;
+        const Path backup = spf::shortest_path(
+            g, s, t, mask,
+            spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+        if (backup.empty()) continue;
+        worst = std::max(worst, greedy_decompose(base, backup).size());
+      }
+    }
+  }
+  EXPECT_EQ(worst, 3u);
+}
+
+TEST(RouterFailureNegative, StarGadgetForcesLinearConcatenation) {
+  // Figure 4: hub failure makes the only s-t route the (n-3)-hop chain;
+  // original shortest paths have <= 2 hops, so ceil((n-2)/2)-ish pieces are
+  // unavoidable.
+  const std::size_t n = 20;
+  const auto star = topo::make_two_level_star(n);
+  spf::DistanceOracle oracle(star.g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet base(oracle);
+  const FailureMask mask = FailureMask::of_nodes({star.hub});
+  const Path backup = spf::shortest_path(
+      star.g, star.s, star.t, mask,
+      spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+  ASSERT_FALSE(backup.empty());
+  const std::size_t hops = backup.hops();  // n - 2 hops along the chain
+  EXPECT_EQ(hops, n - 2);
+  const Decomposition d = greedy_decompose(base, backup);
+  EXPECT_GE(d.size(), (n - 2) / 2);
+  EXPECT_EQ(d.size(), (hops + 1) / 2);
+}
+
+TEST(DirectedNegative, Theorem1FailsOnDirectedGraphs) {
+  // Figure 5: one failure, yet ~(n-2)/3 original shortest paths are needed.
+  const std::size_t m = 12;
+  const auto gadget = topo::make_directed_counterexample(m);
+  spf::DistanceOracle oracle(gadget.g, FailureMask{}, spf::Metric::Hops);
+  AllPairsShortestBaseSet base(oracle);
+  const FailureMask mask = FailureMask::of_edges({gadget.ab_edge});
+  const Path backup = spf::shortest_path(
+      gadget.g, gadget.s, gadget.t, mask,
+      spf::SpfOptions{.metric = spf::Metric::Hops, .padded = true});
+  ASSERT_FALSE(backup.empty());
+  EXPECT_EQ(backup.hops(), m);
+  const Decomposition d = greedy_decompose(base, backup);
+  // Pieces are capped at 3 hops (the a-b shortcut kills longer subpaths),
+  // so k+1 = 2 is impossible: the count grows linearly with n.
+  EXPECT_EQ(d.size(), (m + 2) / 3);
+  EXPECT_GT(d.size(), 2u);
+}
+
+// --- theorem-independent sanity: restoration only needs surviving pieces ----------------
+
+TEST(Soundness, DecompositionPiecesSurviveTheFailures) {
+  Rng rng(501);
+  const Graph g = topo::make_random_connected(30, 70, rng, 10);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  AllPairsShortestBaseSet base(oracle);
+  for (int trial = 0; trial < 30; ++trial) {
+    const FailureMask mask = random_edge_failures(g, 3, rng);
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const Path backup =
+        spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
+    if (backup.empty()) continue;
+    for (const Path& piece : greedy_decompose(base, backup).pieces) {
+      EXPECT_TRUE(piece.alive(g, mask)) << piece.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbpc::core

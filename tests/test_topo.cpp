@@ -1,0 +1,244 @@
+// Unit tests for src/topo: generator structure and the paper's gadgets.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "spf/spf.hpp"
+#include "topo/gadgets.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::topo {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+
+// --- elementary ------------------------------------------------------------------
+
+TEST(Generators, Ring) {
+  const Graph g = make_ring(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  EXPECT_THROW(make_ring(2), PreconditionError);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, Chain) {
+  const Graph g = make_chain(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(graph::find_bridges(g).size(), 3u);
+}
+
+// --- random models ------------------------------------------------------------------
+
+TEST(Generators, RandomConnectedIsConnectedWithExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = make_random_connected(50, 120, rng, 10);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+  EXPECT_TRUE(graph::is_connected(g));
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 1);
+    EXPECT_LE(e.weight, 10);
+  }
+}
+
+TEST(Generators, RandomConnectedRejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_connected(10, 8, rng), PreconditionError);
+  EXPECT_THROW(make_random_connected(4, 7, rng), PreconditionError);
+}
+
+TEST(Generators, RandomConnectedDeterministicPerSeed) {
+  Rng a(3);
+  Rng b(3);
+  const Graph g1 = make_random_connected(30, 60, a, 5);
+  const Graph g2 = make_random_connected(30, 60, b, 5);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (std::size_t e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edge(e).u, g2.edge(e).u);
+    EXPECT_EQ(g1.edge(e).v, g2.edge(e).v);
+    EXPECT_EQ(g1.edge(e).weight, g2.edge(e).weight);
+  }
+}
+
+TEST(Generators, WaxmanConnected) {
+  Rng rng(5);
+  const Graph g = make_waxman(80, 0.6, 0.25, rng);
+  EXPECT_EQ(g.num_nodes(), 80u);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertDegreeStructure) {
+  Rng rng(7);
+  const Graph g = make_barabasi_albert(500, 2, 0.0, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(graph::is_connected(g));
+  // m = 2 attachments: every non-seed node has degree >= 2, and
+  // edges = seed C(3,2) + 2 * (n - 3).
+  EXPECT_EQ(g.num_edges(), 3u + 2u * (500 - 3));
+  const auto stats = graph::degree_stats(g);
+  EXPECT_GE(stats.min, 2u);
+  // Preferential attachment produces hubs far above the mean.
+  EXPECT_GT(stats.max, 20u);
+}
+
+TEST(Generators, BarabasiAlbertExtraFraction) {
+  Rng rng(9);
+  const Graph g = make_barabasi_albert(1000, 2, 0.5, rng);
+  const double avg_attach =
+      static_cast<double>(g.num_edges() - 3) / static_cast<double>(1000 - 3);
+  EXPECT_NEAR(avg_attach, 2.5, 0.1);
+}
+
+// --- paper-scale topologies -----------------------------------------------------------
+
+TEST(Generators, IspLikeMatchesTable1) {
+  Rng rng(11);
+  const Graph g = make_isp_like(rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_NEAR(g.average_degree(), 3.56, 0.25);
+  EXPECT_TRUE(graph::is_connected(g));
+  // The construction (rings + dual-homing) should be single-failure
+  // survivable.
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  EXPECT_FALSE(g.is_unit_weight());
+}
+
+TEST(Generators, IspLikeUnweightedVariant) {
+  Rng rng(11);
+  const Graph g = make_isp_like(rng, /*weighted=*/false);
+  EXPECT_TRUE(g.is_unit_weight());
+}
+
+TEST(Generators, AsLikeScaledMatchesTable1Shape) {
+  Rng rng(13);
+  const Graph g = make_as_like(rng, 0.1);  // 474 nodes for test speed
+  EXPECT_EQ(g.num_nodes(), 474u);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 4.16, 0.4);
+}
+
+TEST(Generators, InternetLikeScaledMatchesTable1Shape) {
+  Rng rng(17);
+  const Graph g = make_internet_like(rng, 0.02);  // 807 nodes
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 5.03, 0.5);
+}
+
+TEST(Generators, ScaleValidation) {
+  Rng rng(1);
+  EXPECT_THROW(make_as_like(rng, 0.0), PreconditionError);
+  EXPECT_THROW(make_as_like(rng, 1.5), PreconditionError);
+}
+
+// --- gadgets ---------------------------------------------------------------------------
+
+TEST(Gadgets, CombStructure) {
+  const auto comb = make_comb(3);
+  EXPECT_EQ(comb.g.num_nodes(), 7u);   // 4 spine + 3 teeth
+  EXPECT_EQ(comb.g.num_edges(), 9u);   // 3 spine + 2*3 tooth edges
+  EXPECT_EQ(comb.spine_edges.size(), 3u);
+  EXPECT_EQ(spf::distance(comb.g, comb.s, comb.t,
+                          FailureMask::none(),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            3);
+  // Failing the spine doubles the distance (each hop becomes two).
+  EXPECT_EQ(spf::distance(comb.g, comb.s, comb.t,
+                          FailureMask::of_edges(comb.spine_edges),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            6);
+}
+
+TEST(Gadgets, WeightedChainStructure) {
+  const auto chain = make_weighted_chain(2);
+  EXPECT_EQ(chain.g.num_nodes(), 6u);
+  EXPECT_EQ(chain.cheap_parallel_edges.size(), 2u);
+  EXPECT_EQ(chain.epsilon_edges.size(), 2u);
+  const auto base = spf::distance(chain.g, chain.s, chain.t);
+  // All five segments at cheap cost.
+  EXPECT_EQ(base, 5 * WeightedChainGadget::kCheap);
+  const auto after =
+      spf::distance(chain.g, chain.s, chain.t,
+                    FailureMask::of_edges(chain.cheap_parallel_edges));
+  EXPECT_EQ(after, 5 * WeightedChainGadget::kCheap + 2);  // two epsilons
+}
+
+TEST(Gadgets, TwoLevelStarDistances) {
+  const auto star = make_two_level_star(8);
+  // Any two routers are within distance 2 via the hub.
+  for (NodeId u = 1; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      EXPECT_LE(spf::distance(star.g, u, v, FailureMask::none(),
+                              spf::SpfOptions{.metric = spf::Metric::Hops}),
+                2);
+    }
+  }
+  // After the hub fails, s..t must walk the whole chain.
+  EXPECT_EQ(spf::distance(star.g, star.s, star.t,
+                          FailureMask::of_nodes({star.hub}),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            static_cast<graph::Weight>(6));
+}
+
+TEST(Gadgets, DirectedCounterexampleDistances) {
+  const auto gadget = make_directed_counterexample(9);
+  EXPECT_TRUE(gadget.g.directed());
+  // Before failure: every chain pair at distance min(j - i, 3).
+  EXPECT_EQ(spf::distance(gadget.g, 0, 9, FailureMask::none(),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            3);
+  EXPECT_EQ(spf::distance(gadget.g, 0, 2, FailureMask::none(),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            2);
+  // After (a, b) fails, only the chain remains.
+  EXPECT_EQ(spf::distance(gadget.g, 0, 9,
+                          FailureMask::of_edges({gadget.ab_edge}),
+                          spf::SpfOptions{.metric = spf::Metric::Hops}),
+            9);
+}
+
+TEST(Gadgets, FourCycle) {
+  const Graph g = make_four_cycle();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+}
+
+TEST(Gadgets, ParallelChainStructure) {
+  const auto pc = make_parallel_chain(2);
+  EXPECT_EQ(pc.g.num_nodes(), 6u);
+  EXPECT_EQ(pc.pairs.size(), 5u);
+  EXPECT_EQ(pc.g.num_edges(), 10u);
+  // Parallel pairs: failing one edge of a pair leaves distance unchanged.
+  FailureMask m;
+  m.fail_edge(pc.pairs[0].first);
+  EXPECT_EQ(spf::distance(pc.g, pc.s, pc.t, m), 5);
+}
+
+TEST(Gadgets, ParameterValidation) {
+  EXPECT_THROW(make_comb(0), PreconditionError);
+  EXPECT_THROW(make_weighted_chain(0), PreconditionError);
+  EXPECT_THROW(make_two_level_star(4), PreconditionError);
+  EXPECT_THROW(make_directed_counterexample(3), PreconditionError);
+  EXPECT_THROW(make_parallel_chain(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpc::topo

@@ -1,0 +1,130 @@
+// Tests for core/traffic (demand matrices, link loads) and the MPLS
+// forwarding counters.
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "mpls/network.hpp"
+#include "spf/oracle.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::core {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+TEST(DemandMatrix, UniformTotals) {
+  const auto m = DemandMatrix::uniform(4, 2.0);
+  EXPECT_DOUBLE_EQ(m.demand(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.demand(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.total(), 4.0 * 3.0 * 2.0);
+}
+
+TEST(DemandMatrix, GravityScalesToTotal) {
+  Rng rng(301);
+  const auto m = DemandMatrix::gravity(10, 500.0, rng);
+  EXPECT_NEAR(m.total(), 500.0, 1e-6);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_DOUBLE_EQ(m.demand(v, v), 0.0);
+  // Heavy tail: the largest pair demand well above the mean pair demand.
+  double max_d = 0;
+  for (NodeId s = 0; s < 10; ++s) {
+    for (NodeId t = 0; t < 10; ++t) max_d = std::max(max_d, m.demand(s, t));
+  }
+  EXPECT_GT(max_d, 500.0 / 90.0 * 2.0);
+}
+
+TEST(DemandMatrix, Validation) {
+  DemandMatrix m(3);
+  EXPECT_THROW(m.set_demand(0, 0, 1.0), PreconditionError);
+  EXPECT_THROW(m.set_demand(0, 1, -1.0), PreconditionError);
+  EXPECT_THROW(m.demand(0, 5), PreconditionError);
+  Rng rng(1);
+  EXPECT_THROW(DemandMatrix::gravity(1, 10.0, rng), PreconditionError);
+  EXPECT_THROW(DemandMatrix::gravity(4, 0.0, rng), PreconditionError);
+}
+
+TEST(RouteDemands, AccumulatesOnRingShortestPaths) {
+  const Graph g = topo::make_ring(4);
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  const auto demands = DemandMatrix::uniform(4, 1.0);
+  const LinkLoads loads = route_demands(g, demands, [&](NodeId s, NodeId t) {
+    return oracle.canonical_path(s, t);
+  });
+  EXPECT_DOUBLE_EQ(loads.unrouted, 0.0);
+  // Total carried volume = sum over pairs of hops: adjacent pairs (8
+  // ordered) 1 hop; antipodal (4 ordered) 2 hops => 8 + 8 = 16.
+  double total = 0;
+  for (double l : loads.load) total += l;
+  EXPECT_DOUBLE_EQ(total, 16.0);
+  EXPECT_GT(loads.max_load(), 0.0);
+  EXPECT_GE(loads.max_load(), loads.mean_load());
+}
+
+TEST(RouteDemands, UnroutedDemandCounted) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Hops);
+  const auto demands = DemandMatrix::uniform(4, 1.0);
+  const LinkLoads loads = route_demands(g, demands, [&](NodeId s, NodeId t) {
+    return oracle.canonical_path(s, t);
+  });
+  // 8 of 12 ordered pairs cross components.
+  EXPECT_DOUBLE_EQ(loads.unrouted, 8.0);
+}
+
+TEST(RouteDemands, FailureShiftsLoad) {
+  const Graph g = topo::make_ring(6);
+  const auto demands = DemandMatrix::uniform(6, 1.0);
+  spf::DistanceOracle before_oracle(g, FailureMask{}, spf::Metric::Hops);
+  spf::DistanceOracle after_oracle(g, FailureMask::of_edges({0}),
+                                   spf::Metric::Hops);
+  const LinkLoads before = route_demands(g, demands, [&](NodeId s, NodeId t) {
+    return before_oracle.canonical_path(s, t);
+  });
+  const LinkLoads after = route_demands(g, demands, [&](NodeId s, NodeId t) {
+    return after_oracle.canonical_path(s, t);
+  });
+  EXPECT_GT(before.load[0], 0.0);
+  EXPECT_DOUBLE_EQ(after.load[0], 0.0);  // failed link carries nothing
+  // Displaced demand lands on the surviving links.
+  EXPECT_GT(after.max_load(), before.max_load());
+}
+
+TEST(RouteDemands, Validation) {
+  const Graph g = topo::make_ring(4);
+  const auto wrong = DemandMatrix::uniform(5, 1.0);
+  EXPECT_THROW(route_demands(g, wrong, [](NodeId, NodeId) { return Path{}; }),
+               PreconditionError);
+  const auto ok = DemandMatrix::uniform(4, 1.0);
+  EXPECT_THROW(route_demands(g, ok, nullptr), PreconditionError);
+}
+
+TEST(ForwardStats, CountersTrackTraffic) {
+  const Graph g = topo::make_chain(3);
+  mpls::Network net(g);
+  const auto lsp = net.provision_lsp(Path::from_nodes(g, {0, 1, 2}));
+  net.set_fec_chain(0, 2, {lsp});
+
+  EXPECT_EQ(net.stats().packets, 0u);
+  net.send(0, 2);
+  EXPECT_EQ(net.stats().packets, 1u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.stats().link_hops, 2u);
+  EXPECT_EQ(net.stats().label_ops, 3u);  // ingress + transit + egress pop
+
+  net.send(1, 2);  // no FEC entry at router 1
+  EXPECT_EQ(net.stats().packets, 2u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+
+  net.reset_stats();
+  EXPECT_EQ(net.stats().packets, 0u);
+}
+
+}  // namespace
+}  // namespace rbpc::core

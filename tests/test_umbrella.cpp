@@ -1,0 +1,25 @@
+// Compile-level check that the umbrella header exposes the whole public
+// API coherently, plus a smoke test touching one symbol per layer.
+#include "rbpc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbpc {
+namespace {
+
+TEST(Umbrella, OneSymbolPerLayer) {
+  Rng rng(1);                                             // util
+  const graph::Graph g = topo::make_ring(5);              // topo + graph
+  EXPECT_EQ(spf::distance(g, 0, 2), 2);                   // spf
+  lsdb::EventQueue q;                                     // lsdb
+  EXPECT_TRUE(q.empty());
+  mpls::LabelStack stack;                                 // mpls
+  stack.push(17);
+  EXPECT_EQ(stack.top(), 17u);
+  core::RbpcController ctl(g, spf::Metric::Hops);         // core
+  ctl.provision();
+  EXPECT_TRUE(ctl.send(0, 2).delivered());
+}
+
+}  // namespace
+}  // namespace rbpc

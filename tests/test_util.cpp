@@ -1,0 +1,351 @@
+// Unit tests for src/util: RNG, statistics, histograms, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rbpc {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(13);
+  const auto sample = rng.sample_distinct(100, 30);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(13);
+  const auto sample = rng.sample_distinct(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleDistinctRejectsOversample) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample_distinct(5, 6), PreconditionError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Child stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.next() == child.next());
+  EXPECT_LT(equal, 4);
+}
+
+// --- StatAccumulator -----------------------------------------------------------
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatAccumulator, EmptyThrows) {
+  StatAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW(acc.mean(), PreconditionError);
+  EXPECT_THROW(acc.min(), PreconditionError);
+  EXPECT_THROW(acc.max(), PreconditionError);
+}
+
+TEST(StatAccumulator, SingleValueHasZeroVariance) {
+  StatAccumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  StatAccumulator whole;
+  StatAccumulator left;
+  StatAccumulator right;
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty) {
+  StatAccumulator a;
+  a.add(1.0);
+  StatAccumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+// --- QuantileSketch -------------------------------------------------------------
+
+TEST(QuantileSketch, ExactQuantiles) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.median(), 50.0, 1.0);
+}
+
+TEST(QuantileSketch, EmptyThrows) {
+  QuantileSketch q;
+  EXPECT_THROW(q.quantile(0.5), PreconditionError);
+}
+
+TEST(QuantileSketch, AddAfterQuery) {
+  QuantileSketch q;
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.median(), 1.0);
+  q.add(100.0);
+  q.add(101.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+// --- RatioOfMeans ----------------------------------------------------------------
+
+TEST(RatioOfMeans, IsRatioOfSums) {
+  RatioOfMeans r;
+  r.add(4.0, 2.0);
+  r.add(2.0, 2.0);
+  // mean(num) / mean(den) = 3/2.
+  EXPECT_DOUBLE_EQ(r.value(), 1.5);
+}
+
+TEST(RatioOfMeans, ZeroDenominatorThrows) {
+  RatioOfMeans r;
+  r.add(1.0, 0.0);
+  EXPECT_THROW(r.value(), PreconditionError);
+}
+
+// --- IntHistogram ------------------------------------------------------------------
+
+TEST(IntHistogram, CountsAndFractions) {
+  IntHistogram h;
+  h.add(2);
+  h.add(2);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.5);
+  EXPECT_EQ(h.min_key(), 2);
+  EXPECT_EQ(h.max_key(), 7);
+}
+
+TEST(IntHistogram, EmptyBehaviour) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+  EXPECT_THROW(h.min_key(), PreconditionError);
+}
+
+TEST(IntHistogram, WeightedAdd) {
+  IntHistogram h;
+  h.add(1, 10);
+  h.add(2, 30);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+// --- BinnedHistogram -----------------------------------------------------------------
+
+TEST(BinnedHistogram, BinPlacement) {
+  BinnedHistogram h(1.0, 2.0, 10);
+  h.add(1.0);   // bin 0
+  h.add(1.05);  // bin 0
+  h.add(1.15);  // bin 1
+  h.add(1.999);  // bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(BinnedHistogram, OutOfRangeClamps) {
+  BinnedHistogram h(1.0, 2.0, 4);
+  h.add(0.5);
+  h.add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(BinnedHistogram, EdgesAndLabels) {
+  BinnedHistogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 0.5);
+  EXPECT_EQ(h.bin_label(0), "[0.00,0.25)");
+}
+
+TEST(BinnedHistogram, InvalidConstruction) {
+  EXPECT_THROW(BinnedHistogram(2.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(BinnedHistogram(0.0, 1.0, 0), PreconditionError);
+}
+
+// --- TablePrinter -------------------------------------------------------------------
+
+TEST(TablePrinter, TextLayout) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  // Header comes first.
+  EXPECT_LT(text.find("name"), text.find("alpha"));
+}
+
+TEST(TablePrinter, MarkdownLayout) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"x", "y"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::percent(0.256, 1), "25.6%");
+}
+
+// --- CliArgs -----------------------------------------------------------------------
+
+TEST(CliArgs, ParsesSeparateAndEqualsForms) {
+  const char* argv[] = {"prog", "--samples", "40", "--seed=7", "--flag"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("samples", 0), 40);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_int("missing", 123), 123);
+}
+
+TEST(CliArgs, RejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(CliArgs(2, argv), InputError);
+}
+
+TEST(CliArgs, RejectsBadInteger) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  CliArgs args(3, argv);
+  EXPECT_THROW(args.get_int("n", 0), InputError);
+}
+
+TEST(CliArgs, UintRejectsNegative) {
+  const char* argv[] = {"prog", "--n", "-4"};
+  CliArgs args(3, argv);
+  EXPECT_THROW(args.get_uint("n", 0), InputError);
+}
+
+TEST(CliArgs, DoubleAndBoolParsing) {
+  const char* argv[] = {"prog", "--x=2.5", "--b=no"};
+  CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_THROW(args.get_bool("x", false), InputError);
+}
+
+}  // namespace
+}  // namespace rbpc

@@ -1,0 +1,146 @@
+// Unit + property tests for spf/yen (k shortest loopless paths).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spf/spf.hpp"
+#include "spf/yen.hpp"
+#include "topo/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::spf {
+namespace {
+
+using graph::FailureMask;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Path;
+
+TEST(Yen, FirstPathIsShortest) {
+  const Graph g = topo::make_grid(3, 3);
+  const auto paths = k_shortest_paths(g, 0, 8, 3, FailureMask::none(),
+                                      Metric::Hops);
+  ASSERT_GE(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 4u);
+  EXPECT_EQ(static_cast<graph::Weight>(paths[0].hops()),
+            distance(g, 0, 8, FailureMask::none(),
+                     SpfOptions{.metric = Metric::Hops}));
+}
+
+TEST(Yen, PathsAreDistinctLooplessAndSorted) {
+  const Graph g = topo::make_grid(3, 4);
+  const auto paths = k_shortest_paths(g, 0, 11, 8, FailureMask::none(),
+                                      Metric::Hops);
+  EXPECT_EQ(paths.size(), 8u);
+  std::set<std::vector<NodeId>> seen;
+  graph::Weight prev = 0;
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.target(), 11u);
+    EXPECT_TRUE(p.simple());
+    EXPECT_TRUE(seen.insert(p.nodes()).second) << p.to_string();
+    const auto cost = static_cast<graph::Weight>(p.hops());
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(Yen, GridCornerHasSixShortest) {
+  // 3x3 grid corner-to-corner: C(4,2) = 6 monotone shortest routes of 4
+  // hops; the 7th cheapest must be longer.
+  const Graph g = topo::make_grid(3, 3);
+  const auto paths = k_shortest_paths(g, 0, 8, 7, FailureMask::none(),
+                                      Metric::Hops);
+  ASSERT_EQ(paths.size(), 7u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(paths[i].hops(), 4u);
+  EXPECT_GT(paths[6].hops(), 4u);
+}
+
+TEST(Yen, ExhaustsSmallPathSpace) {
+  // A 4-ring has exactly 2 loopless 0->2 paths.
+  const Graph g = topo::make_ring(4);
+  const auto paths = k_shortest_paths(g, 0, 2, 10, FailureMask::none(),
+                                      Metric::Hops);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(Yen, RespectsFailureMask) {
+  const Graph g = topo::make_ring(6);
+  const auto paths =
+      k_shortest_paths(g, 0, 3, 5, FailureMask::of_edges({0}), Metric::Hops);
+  ASSERT_EQ(paths.size(), 1u);  // only the long way remains loopless
+  EXPECT_FALSE(paths[0].uses_edge(0));
+}
+
+TEST(Yen, DisconnectedGivesEmpty) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 3).empty());
+}
+
+TEST(Yen, WeightedOrdering) {
+  // Diamond: 0-1 (1), 1-3 (1), 0-2 (2), 2-3 (2), 1-2 (1).
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 3, 1);
+  b.add_edge(0, 2, 2);
+  b.add_edge(2, 3, 2);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  const auto paths = k_shortest_paths(g, 0, 3, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0].cost(g), 2);  // 0-1-3
+  EXPECT_EQ(paths[1].cost(g), 4);  // 0-2-3, 0-1-2-3 and 0-2-1-3 all cost 4
+  EXPECT_EQ(paths[2].cost(g), 4);
+  EXPECT_EQ(paths[3].cost(g), 4);
+}
+
+TEST(Yen, DeterministicAcrossCalls) {
+  Rng rng(91);
+  const Graph g = topo::make_random_connected(20, 45, rng, 7);
+  const auto a = k_shortest_paths(g, 1, 17, 6);
+  const auto b = k_shortest_paths(g, 1, 17, 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Yen, Validation) {
+  const Graph g = topo::make_ring(4);
+  EXPECT_THROW(k_shortest_paths(g, 0, 0, 3), PreconditionError);
+  EXPECT_THROW(k_shortest_paths(g, 0, 1, 0), PreconditionError);
+  EXPECT_THROW(k_shortest_paths(g, 0, 7, 3), PreconditionError);
+}
+
+class YenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(YenSweep, CostsNondecreasingAndCountCorrect) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph g = topo::make_random_connected(14, 30, rng, 9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const auto paths = k_shortest_paths(g, s, t, 5);
+    graph::Weight prev = 0;
+    std::set<std::vector<NodeId>> seen;
+    for (const Path& p : paths) {
+      EXPECT_TRUE(p.simple());
+      EXPECT_GE(p.cost(g), prev);
+      prev = p.cost(g);
+      EXPECT_TRUE(seen.insert(p.nodes()).second);
+    }
+    if (!paths.empty()) {
+      EXPECT_EQ(paths[0].cost(g), distance(g, s, t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, YenSweep,
+                         ::testing::Values(701, 702, 703, 704));
+
+}  // namespace
+}  // namespace rbpc::spf
