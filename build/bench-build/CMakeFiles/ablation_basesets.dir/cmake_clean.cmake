@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_basesets"
+  "../bench/ablation_basesets.pdb"
+  "CMakeFiles/ablation_basesets.dir/ablation_basesets.cpp.o"
+  "CMakeFiles/ablation_basesets.dir/ablation_basesets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_basesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_load_impact"
+  "../bench/ext_load_impact.pdb"
+  "CMakeFiles/ext_load_impact.dir/ext_load_impact.cpp.o"
+  "CMakeFiles/ext_load_impact.dir/ext_load_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_load_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_local_rbpc"
+  "../bench/fig10_local_rbpc.pdb"
+  "CMakeFiles/fig10_local_rbpc.dir/fig10_local_rbpc.cpp.o"
+  "CMakeFiles/fig10_local_rbpc.dir/fig10_local_rbpc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_local_rbpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

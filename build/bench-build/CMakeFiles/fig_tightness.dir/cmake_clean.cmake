@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_tightness"
+  "../bench/fig_tightness.pdb"
+  "CMakeFiles/fig_tightness.dir/fig_tightness.cpp.o"
+  "CMakeFiles/fig_tightness.dir/fig_tightness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

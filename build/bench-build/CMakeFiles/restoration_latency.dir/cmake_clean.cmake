@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/restoration_latency"
+  "../bench/restoration_latency.pdb"
+  "CMakeFiles/restoration_latency.dir/restoration_latency.cpp.o"
+  "CMakeFiles/restoration_latency.dir/restoration_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restoration_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_topologies"
+  "../bench/table1_topologies.pdb"
+  "CMakeFiles/table1_topologies.dir/table1_topologies.cpp.o"
+  "CMakeFiles/table1_topologies.dir/table1_topologies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

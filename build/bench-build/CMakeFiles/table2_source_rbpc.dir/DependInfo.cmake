@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_source_rbpc.cpp" "bench-build/CMakeFiles/table2_source_rbpc.dir/table2_source_rbpc.cpp.o" "gcc" "bench-build/CMakeFiles/table2_source_rbpc.dir/table2_source_rbpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rbpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpls/CMakeFiles/rbpc_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/rbpc_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rbpc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/rbpc_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_source_rbpc"
+  "../bench/table2_source_rbpc.pdb"
+  "CMakeFiles/table2_source_rbpc.dir/table2_source_rbpc.cpp.o"
+  "CMakeFiles/table2_source_rbpc.dir/table2_source_rbpc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_source_rbpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

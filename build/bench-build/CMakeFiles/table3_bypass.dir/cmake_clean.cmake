@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_bypass"
+  "../bench/table3_bypass.pdb"
+  "CMakeFiles/table3_bypass.dir/table3_bypass.cpp.o"
+  "CMakeFiles/table3_bypass.dir/table3_bypass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

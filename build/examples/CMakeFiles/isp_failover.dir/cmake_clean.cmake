@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_failover.dir/isp_failover.cpp.o"
+  "CMakeFiles/isp_failover.dir/isp_failover.cpp.o.d"
+  "isp_failover"
+  "isp_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

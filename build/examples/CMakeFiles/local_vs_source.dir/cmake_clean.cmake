@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_vs_source.dir/local_vs_source.cpp.o"
+  "CMakeFiles/local_vs_source.dir/local_vs_source.cpp.o.d"
+  "local_vs_source"
+  "local_vs_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_vs_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_failure_storm.dir/multi_failure_storm.cpp.o"
+  "CMakeFiles/multi_failure_storm.dir/multi_failure_storm.cpp.o.d"
+  "multi_failure_storm"
+  "multi_failure_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_failure_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_subnet.dir/qos_subnet.cpp.o"
+  "CMakeFiles/qos_subnet.dir/qos_subnet.cpp.o.d"
+  "qos_subnet"
+  "qos_subnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_subnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

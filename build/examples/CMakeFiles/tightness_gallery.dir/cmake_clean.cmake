@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tightness_gallery.dir/tightness_gallery.cpp.o"
+  "CMakeFiles/tightness_gallery.dir/tightness_gallery.cpp.o.d"
+  "tightness_gallery"
+  "tightness_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tightness_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topogen.dir/topogen.cpp.o"
+  "CMakeFiles/topogen.dir/topogen.cpp.o.d"
+  "topogen"
+  "topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_tradeoff.dir/wdm_tradeoff.cpp.o"
+  "CMakeFiles/wdm_tradeoff.dir/wdm_tradeoff.cpp.o.d"
+  "wdm_tradeoff"
+  "wdm_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isp_failover "/root/repo/build/examples/isp_failover" "--failures" "2" "--probes" "100")
+set_tests_properties(example_isp_failover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_failure_storm "/root/repo/build/examples/multi_failure_storm" "--max-k" "3" "--pairs" "40" "--nodes" "30" "--edges" "70")
+set_tests_properties(example_multi_failure_storm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_local_vs_source "/root/repo/build/examples/local_vs_source")
+set_tests_properties(example_local_vs_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tightness_gallery "/root/repo/build/examples/tightness_gallery" "--k" "3")
+set_tests_properties(example_tightness_gallery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qos_subnet "/root/repo/build/examples/qos_subnet")
+set_tests_properties(example_qos_subnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wdm_tradeoff "/root/repo/build/examples/wdm_tradeoff" "--samples" "25")
+set_tests_properties(example_wdm_tradeoff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topogen "/root/repo/build/examples/topogen" "--kind" "random" "--nodes" "16" "--edges" "30")
+set_tests_properties(example_topogen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_set.cpp" "src/core/CMakeFiles/rbpc_core.dir/base_set.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/base_set.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/rbpc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/rbpc_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/rbpc_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/drill.cpp" "src/core/CMakeFiles/rbpc_core.dir/drill.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/drill.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/rbpc_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fec_update.cpp" "src/core/CMakeFiles/rbpc_core.dir/fec_update.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/fec_update.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/rbpc_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/merged_controller.cpp" "src/core/CMakeFiles/rbpc_core.dir/merged_controller.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/merged_controller.cpp.o.d"
+  "/root/repo/src/core/restoration.cpp" "src/core/CMakeFiles/rbpc_core.dir/restoration.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/restoration.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/rbpc_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/traffic.cpp" "src/core/CMakeFiles/rbpc_core.dir/traffic.cpp.o" "gcc" "src/core/CMakeFiles/rbpc_core.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spf/CMakeFiles/rbpc_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpls/CMakeFiles/rbpc_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/rbpc_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_core.dir/base_set.cpp.o"
+  "CMakeFiles/rbpc_core.dir/base_set.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/baselines.cpp.o"
+  "CMakeFiles/rbpc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/controller.cpp.o"
+  "CMakeFiles/rbpc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/decompose.cpp.o"
+  "CMakeFiles/rbpc_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/drill.cpp.o"
+  "CMakeFiles/rbpc_core.dir/drill.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/experiment.cpp.o"
+  "CMakeFiles/rbpc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/fec_update.cpp.o"
+  "CMakeFiles/rbpc_core.dir/fec_update.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/hybrid.cpp.o"
+  "CMakeFiles/rbpc_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/merged_controller.cpp.o"
+  "CMakeFiles/rbpc_core.dir/merged_controller.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/restoration.cpp.o"
+  "CMakeFiles/rbpc_core.dir/restoration.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/scenario.cpp.o"
+  "CMakeFiles/rbpc_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/rbpc_core.dir/traffic.cpp.o"
+  "CMakeFiles/rbpc_core.dir/traffic.cpp.o.d"
+  "librbpc_core.a"
+  "librbpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_graph.dir/analysis.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/rbpc_graph.dir/dot.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/rbpc_graph.dir/failure.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/failure.cpp.o.d"
+  "CMakeFiles/rbpc_graph.dir/graph.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/rbpc_graph.dir/io.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/io.cpp.o.d"
+  "CMakeFiles/rbpc_graph.dir/path.cpp.o"
+  "CMakeFiles/rbpc_graph.dir/path.cpp.o.d"
+  "librbpc_graph.a"
+  "librbpc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librbpc_graph.a"
+)

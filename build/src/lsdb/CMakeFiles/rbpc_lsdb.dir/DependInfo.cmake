@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsdb/event_queue.cpp" "src/lsdb/CMakeFiles/rbpc_lsdb.dir/event_queue.cpp.o" "gcc" "src/lsdb/CMakeFiles/rbpc_lsdb.dir/event_queue.cpp.o.d"
+  "/root/repo/src/lsdb/lsdb.cpp" "src/lsdb/CMakeFiles/rbpc_lsdb.dir/lsdb.cpp.o" "gcc" "src/lsdb/CMakeFiles/rbpc_lsdb.dir/lsdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_lsdb.dir/event_queue.cpp.o"
+  "CMakeFiles/rbpc_lsdb.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rbpc_lsdb.dir/lsdb.cpp.o"
+  "CMakeFiles/rbpc_lsdb.dir/lsdb.cpp.o.d"
+  "librbpc_lsdb.a"
+  "librbpc_lsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_lsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpls/label.cpp" "src/mpls/CMakeFiles/rbpc_mpls.dir/label.cpp.o" "gcc" "src/mpls/CMakeFiles/rbpc_mpls.dir/label.cpp.o.d"
+  "/root/repo/src/mpls/ldp.cpp" "src/mpls/CMakeFiles/rbpc_mpls.dir/ldp.cpp.o" "gcc" "src/mpls/CMakeFiles/rbpc_mpls.dir/ldp.cpp.o.d"
+  "/root/repo/src/mpls/lsr.cpp" "src/mpls/CMakeFiles/rbpc_mpls.dir/lsr.cpp.o" "gcc" "src/mpls/CMakeFiles/rbpc_mpls.dir/lsr.cpp.o.d"
+  "/root/repo/src/mpls/network.cpp" "src/mpls/CMakeFiles/rbpc_mpls.dir/network.cpp.o" "gcc" "src/mpls/CMakeFiles/rbpc_mpls.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/rbpc_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_mpls.dir/label.cpp.o"
+  "CMakeFiles/rbpc_mpls.dir/label.cpp.o.d"
+  "CMakeFiles/rbpc_mpls.dir/ldp.cpp.o"
+  "CMakeFiles/rbpc_mpls.dir/ldp.cpp.o.d"
+  "CMakeFiles/rbpc_mpls.dir/lsr.cpp.o"
+  "CMakeFiles/rbpc_mpls.dir/lsr.cpp.o.d"
+  "CMakeFiles/rbpc_mpls.dir/network.cpp.o"
+  "CMakeFiles/rbpc_mpls.dir/network.cpp.o.d"
+  "librbpc_mpls.a"
+  "librbpc_mpls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spf/apsp.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/apsp.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/apsp.cpp.o.d"
+  "/root/repo/src/spf/bidirectional.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/bidirectional.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/bidirectional.cpp.o.d"
+  "/root/repo/src/spf/bypass.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/bypass.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/bypass.cpp.o.d"
+  "/root/repo/src/spf/counting.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/counting.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/counting.cpp.o.d"
+  "/root/repo/src/spf/disjoint.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/disjoint.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/disjoint.cpp.o.d"
+  "/root/repo/src/spf/metric.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/metric.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/metric.cpp.o.d"
+  "/root/repo/src/spf/oracle.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/oracle.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/oracle.cpp.o.d"
+  "/root/repo/src/spf/spf.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/spf.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/spf.cpp.o.d"
+  "/root/repo/src/spf/tree.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/tree.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/tree.cpp.o.d"
+  "/root/repo/src/spf/yen.cpp" "src/spf/CMakeFiles/rbpc_spf.dir/yen.cpp.o" "gcc" "src/spf/CMakeFiles/rbpc_spf.dir/yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

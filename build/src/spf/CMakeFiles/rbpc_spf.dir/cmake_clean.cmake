@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_spf.dir/apsp.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/apsp.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/bidirectional.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/bidirectional.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/bypass.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/bypass.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/counting.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/counting.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/disjoint.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/disjoint.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/metric.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/metric.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/oracle.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/oracle.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/spf.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/spf.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/tree.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/tree.cpp.o.d"
+  "CMakeFiles/rbpc_spf.dir/yen.cpp.o"
+  "CMakeFiles/rbpc_spf.dir/yen.cpp.o.d"
+  "librbpc_spf.a"
+  "librbpc_spf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

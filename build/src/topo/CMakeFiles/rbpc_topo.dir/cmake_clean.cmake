@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_topo.dir/gadgets.cpp.o"
+  "CMakeFiles/rbpc_topo.dir/gadgets.cpp.o.d"
+  "CMakeFiles/rbpc_topo.dir/generators.cpp.o"
+  "CMakeFiles/rbpc_topo.dir/generators.cpp.o.d"
+  "librbpc_topo.a"
+  "librbpc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbpc_util.dir/cli.cpp.o"
+  "CMakeFiles/rbpc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rbpc_util.dir/error.cpp.o"
+  "CMakeFiles/rbpc_util.dir/error.cpp.o.d"
+  "CMakeFiles/rbpc_util.dir/histogram.cpp.o"
+  "CMakeFiles/rbpc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/rbpc_util.dir/rng.cpp.o"
+  "CMakeFiles/rbpc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rbpc_util.dir/stats.cpp.o"
+  "CMakeFiles/rbpc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rbpc_util.dir/table.cpp.o"
+  "CMakeFiles/rbpc_util.dir/table.cpp.o.d"
+  "librbpc_util.a"
+  "librbpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbpc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base_set.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_base_set.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_base_set.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_decompose.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_decompose.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_decompose.cpp.o.d"
+  "/root/repo/tests/test_disjoint.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_disjoint.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_disjoint.cpp.o.d"
+  "/root/repo/tests/test_drill.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_drill.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_drill.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_fec_update.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_fec_update.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_fec_update.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_io_fuzz.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_io_fuzz.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_io_fuzz.cpp.o.d"
+  "/root/repo/tests/test_lsdb.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_lsdb.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_lsdb.cpp.o.d"
+  "/root/repo/tests/test_merged.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_merged.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_merged.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_mpls.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_mpls.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_mpls.cpp.o.d"
+  "/root/repo/tests/test_restoration.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_restoration.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_restoration.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_spf.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_spf.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_spf.cpp.o.d"
+  "/root/repo/tests/test_spf_extras.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_spf_extras.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_spf_extras.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_theorems.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_theorems.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_yen.cpp" "tests/CMakeFiles/rbpc_tests.dir/test_yen.cpp.o" "gcc" "tests/CMakeFiles/rbpc_tests.dir/test_yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rbpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpls/CMakeFiles/rbpc_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/rbpc_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rbpc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/rbpc_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rbpc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
