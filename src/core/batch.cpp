@@ -1,0 +1,94 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/decompose.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+using graph::FailureMask;
+using graph::NodeId;
+using graph::Path;
+
+BatchRestorer::BatchRestorer(BasePathSet& base, BatchOptions options)
+    : base_(base), pool_(options.threads) {}
+
+void BatchRestorer::reset_cache_for(const FailureMask& mask) {
+  std::vector<graph::EdgeId> edges = mask.failed_edges();
+  std::vector<NodeId> nodes = mask.failed_nodes();
+  if (cache_valid_ && edges == cache_failed_edges_ &&
+      nodes == cache_failed_nodes_) {
+    return;  // same failure state: keep the shared trees
+  }
+  if (cache_) {
+    retired_hits_ += cache_->hits();
+    retired_misses_ += cache_->misses();
+    ++stats_.mask_changes;
+  }
+  cache_ = std::make_unique<spf::TreeCache>(
+      base_.graph(), mask,
+      spf::SpfOptions{.metric = base_.metric(), .padded = true});
+  cache_failed_edges_ = std::move(edges);
+  cache_failed_nodes_ = std::move(nodes);
+  cache_valid_ = true;
+}
+
+std::vector<Restoration> BatchRestorer::restore_all(
+    const FailureMask& mask, const std::vector<RestoreJob>& jobs) {
+  const graph::Graph& g = base_.graph();
+  // Check preconditions up front, in job order, so the error surfaced for a
+  // bad batch is the one the serial loop would have thrown first.
+  for (const RestoreJob& job : jobs) {
+    require(job.src < g.num_nodes() && job.dst < g.num_nodes(),
+            "BatchRestorer: job endpoint out of range");
+    require(mask.node_alive(job.src),
+            "BatchRestorer: job source router is failed");
+  }
+  reset_cache_for(mask);
+
+  std::vector<Restoration> results(jobs.size());
+  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    const RestoreJob& job = jobs[i];
+    const spf::ShortestPathTree& tree = cache_->tree(job.src);
+    if (!tree.reachable(job.dst)) return;  // results[i] stays !restored()
+    Restoration r;
+    r.backup = tree.path_to(g, job.dst);
+    {
+      // Membership oracles cache trees of the *unfailed* network and are
+      // not thread-safe; decomposition serializes here.
+      std::lock_guard<std::mutex> lock(base_mu_);
+      r.decomposition = greedy_decompose(base_, r.backup);
+    }
+    results[i] = std::move(r);
+  });
+
+  ++stats_.batches;
+  stats_.jobs += jobs.size();
+  for (const Restoration& r : results) {
+    if (r.restored()) {
+      ++stats_.restored;
+      stats_.max_pc_length = std::max(stats_.max_pc_length, r.pc_length());
+    } else {
+      ++stats_.unrestorable;
+    }
+  }
+  stats_.spf_cache_hits = retired_hits_ + cache_->hits();
+  stats_.spf_cache_misses = retired_misses_ + cache_->misses();
+  return results;
+}
+
+std::vector<std::size_t> affected_lsps(const graph::Graph& g,
+                                       const std::vector<Path>& lsps,
+                                       const FailureMask& mask) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < lsps.size(); ++i) {
+    const Path& p = lsps[i];
+    if (p.empty() || p.hops() == 0) continue;
+    if (!p.alive(g, mask)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rbpc::core

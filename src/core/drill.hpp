@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/base_set.hpp"
 #include "graph/failure.hpp"
 #include "graph/graph.hpp"
 #include "mpls/packet.hpp"
@@ -45,6 +46,17 @@ struct DrillConfig {
   double router_chance = 0.25;      ///< chance a failure event hits a router
                                     ///< (needs the router hooks)
   std::size_t max_concurrent = 3;   ///< cap on simultaneous failed elements
+
+  /// Optional parallel-engine cross-check: when `batch_base` is set (a base
+  /// set over the unfailed graph), the drill additionally restores
+  /// `batch_pairs` random alive pairs after every event, both through the
+  /// serial source_rbpc_restore loop and through a BatchRestorer on
+  /// `batch_threads` threads, and reports any divergence as a violation —
+  /// soak-testing the engine's determinism guarantee under realistic
+  /// fail/recover churn. Off by default.
+  BasePathSet* batch_base = nullptr;
+  std::size_t batch_threads = 2;    ///< 0 = hardware concurrency
+  std::size_t batch_pairs = 8;      ///< pairs cross-checked per event
 };
 
 struct DrillReport {

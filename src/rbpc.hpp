@@ -2,16 +2,20 @@
 //
 // Layering (each header is also usable on its own):
 //
-//   util   — RNG, statistics, histograms, tables, CLI, errors
+//   util   — RNG, statistics, histograms, tables, CLI, errors, and the
+//            fixed-size thread pool backing the parallel engines
 //   graph  — graphs, paths, failure masks, analysis, serialization
 //   spf    — shortest-path machinery (Dijkstra/BFS, padding, oracle,
-//            bypass, disjoint pairs, k-shortest, APSP, bidirectional)
+//            bypass, disjoint pairs, k-shortest, APSP, bidirectional) and
+//            the thread-safe per-source tree cache (tree_cache)
 //   topo   — topology generators and the paper's gadget constructions
 //   lsdb   — link-state database, discrete events, failure floods
 //   mpls   — label switching: LSRs, ILM/FEC, LSPs, merged trees, LDP model
 //   core   — restoration by path concatenation: base sets, decomposition,
 //            source/local/hybrid schemes, controllers, experiments,
-//            baselines, failure drills
+//            baselines, failure drills, and the batch layer (core/batch):
+//            parallel restoration of every LSP affected by a failure
+//            event, differentially guaranteed identical to the serial loop
 //
 // Quick start: see examples/quickstart.cpp and README.md.
 #pragma once
@@ -20,8 +24,9 @@
 #include "util/error.hpp"       // IWYU pragma: export
 #include "util/histogram.hpp"   // IWYU pragma: export
 #include "util/rng.hpp"         // IWYU pragma: export
-#include "util/stats.hpp"       // IWYU pragma: export
-#include "util/table.hpp"       // IWYU pragma: export
+#include "util/stats.hpp"        // IWYU pragma: export
+#include "util/table.hpp"        // IWYU pragma: export
+#include "util/thread_pool.hpp"  // IWYU pragma: export
 
 #include "graph/analysis.hpp"   // IWYU pragma: export
 #include "graph/dot.hpp"        // IWYU pragma: export
@@ -40,6 +45,7 @@
 #include "spf/oracle.hpp"         // IWYU pragma: export
 #include "spf/spf.hpp"            // IWYU pragma: export
 #include "spf/tree.hpp"           // IWYU pragma: export
+#include "spf/tree_cache.hpp"     // IWYU pragma: export
 #include "spf/yen.hpp"            // IWYU pragma: export
 
 #include "topo/gadgets.hpp"     // IWYU pragma: export
@@ -56,6 +62,7 @@
 
 #include "core/base_set.hpp"           // IWYU pragma: export
 #include "core/baselines.hpp"          // IWYU pragma: export
+#include "core/batch.hpp"              // IWYU pragma: export
 #include "core/controller.hpp"         // IWYU pragma: export
 #include "core/decompose.hpp"          // IWYU pragma: export
 #include "core/drill.hpp"              // IWYU pragma: export

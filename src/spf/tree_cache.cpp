@@ -1,0 +1,53 @@
+#include "spf/tree_cache.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
+                     SpfOptions options)
+    : g_(g), mask_(std::move(mask)), options_(options) {
+  require(options_.stop_at == graph::kInvalidNode,
+          "TreeCache: cached trees must be full runs (no stop_at)");
+}
+
+const ShortestPathTree& TreeCache::tree(graph::NodeId source) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Entry>& slot = entries_[source];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // Entry addresses are stable (unique_ptr) and entries are never erased
+  // while tree() callers are active, so the computation runs outside the
+  // map lock: other sources proceed in parallel, same-source callers block
+  // here. call_once leaves the flag unset on exception, so a failed source
+  // throws to every waiter and is retried by later calls.
+  bool computed = false;
+  std::call_once(entry->once, [&] {
+    entry->tree = std::make_unique<ShortestPathTree>(
+        shortest_tree(g_, source, mask_, options_));
+    computed = true;
+  });
+  if (computed) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *entry->tree;
+}
+
+std::size_t TreeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TreeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace rbpc::spf

@@ -1,0 +1,79 @@
+// TreeCache: thread-safe per-source cache of shortest-path trees for one
+// fixed (graph, failure mask, SPF options) configuration.
+//
+// This is the sharing layer of the batch restoration engine (core/batch.hpp):
+// after a failure event, every affected LSP rooted at the same source reuses
+// one spf::shortest_tree instead of re-running SPF per pair. Unlike
+// spf::DistanceOracle (single-threaded, LRU-evicting, two tree flavors),
+// TreeCache is concurrency-first: any number of threads may request trees;
+// concurrent requests for the same source block on one computation
+// (std::call_once) so each tree is built exactly once.
+//
+// Trees are always full one-to-all runs (options.stop_at must be unset) —
+// the point of the cache is that one run answers every destination.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "spf/spf.hpp"
+#include "spf/tree.hpp"
+
+namespace rbpc::spf {
+
+class TreeCache {
+ public:
+  /// The cache copies `mask`; `g` must outlive the cache. Throws
+  /// PreconditionError when options.stop_at is set (cached trees must cover
+  /// every destination).
+  TreeCache(const graph::Graph& g, graph::FailureMask mask,
+            SpfOptions options = {});
+
+  const graph::Graph& graph() const { return g_; }
+  const graph::FailureMask& mask() const { return mask_; }
+  const SpfOptions& options() const { return options_; }
+
+  /// The shortest-path tree rooted at `source`, computed on first use.
+  /// Thread-safe; the returned reference stays valid until clear() or
+  /// destruction. Throws PreconditionError (like spf::shortest_tree) when
+  /// `source` is failed or out of range — such a failed attempt is not
+  /// cached and a later call retries.
+  const ShortestPathTree& tree(graph::NodeId source);
+
+  /// Cumulative counters across the cache's lifetime: a miss is a tree()
+  /// call that ran SPF itself, a hit is one that found (or waited for) an
+  /// existing tree.
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Number of distinct sources requested so far (== cached trees, unless
+  /// some requests threw on a failed source).
+  std::size_t size() const;
+
+  /// Drops every cached tree (counters are kept). NOT thread-safe against
+  /// concurrent tree() calls — only call from quiescent sections (e.g.
+  /// between batches).
+  void clear();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<ShortestPathTree> tree;
+  };
+
+  const graph::Graph& g_;
+  graph::FailureMask mask_;
+  SpfOptions options_;
+
+  mutable std::mutex mu_;  // guards entries_ (map structure only)
+  std::unordered_map<graph::NodeId, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace rbpc::spf
