@@ -14,10 +14,19 @@
 // sampled routes — hot backbone links affect many LSPs at once, which is
 // precisely the batch workload.
 //
+// A second section compares incremental SPT repair (spf/incremental.hpp)
+// against from-scratch Dijkstra under single-link failures on the same
+// topologies, verifying bit-identical trees on every trial, and — when
+// --spf-json PATH is given — emits the results as machine-readable JSON
+// (CI archives it as BENCH_spf.json and fails the job on any divergence).
+//
 // Flags: --seed N, --scale X (Table-1 sizes; default 0.1), --threads N,
-//        --pairs N (provisioned LSPs), --events N, --max-fails N
+//        --pairs N (provisioned LSPs), --events N, --max-fails N,
+//        --spf-json PATH, --spf-trials N (failure trials per network)
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -25,7 +34,9 @@
 #include "core/batch.hpp"
 #include "core/restoration.hpp"
 #include "core/scenario.hpp"
+#include "spf/incremental.hpp"
 #include "spf/oracle.hpp"
+#include "spf/workspace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,6 +95,117 @@ Workload build_workload(const graph::Graph& g, spf::Metric metric,
   return w;
 }
 
+// --- Incremental repair vs from-scratch SPF ---------------------------------
+
+struct SpfBenchRow {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t trials = 0;
+  double scratch_ns = 0;  // mean per tree
+  double repair_ns = 0;   // mean per tree
+  std::size_t repairs = 0;
+  std::size_t identities = 0;
+  std::size_t fallbacks = 0;
+  bool identical = true;
+
+  double speedup() const {
+    return repair_ns > 0 ? scratch_ns / repair_ns : 0.0;
+  }
+};
+
+bool trees_identical(const spf::ShortestPathTree& a,
+                     const spf::ShortestPathTree& b) {
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.dist(v) != b.dist(v) || a.key(v) != b.key(v)) return false;
+    if (a.reachable(v) &&
+        (a.hops(v) != b.hops(v) || a.parent(v) != b.parent(v) ||
+         a.parent_edge(v) != b.parent_edge(v))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Single-edge failures: for each trial, time shortest_tree under the mask
+// from scratch vs repair_tree from the cached unfailed tree, and require
+// the two trees to be bit-identical.
+SpfBenchRow run_spf_bench(const bench::NetworkCase& net, std::size_t trials,
+                          Rng& rng) {
+  const graph::Graph& g = net.g;
+  const spf::SpfOptions options{.metric = net.metric, .padded = true};
+  spf::SpfWorkspace ws;
+  SpfBenchRow row;
+  row.name = net.name;
+  row.nodes = g.num_nodes();
+  row.edges = g.num_edges();
+  row.trials = trials;
+
+  double scratch_ns = 0;
+  double repair_ns = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+    const spf::ShortestPathTree base =
+        spf::shortest_tree(g, s, FailureMask::none(), options, ws);
+    FailureMask mask;
+    mask.fail_edge(static_cast<EdgeId>(rng.below(g.num_edges())));
+
+    auto t0 = std::chrono::steady_clock::now();
+    const spf::ShortestPathTree scratch =
+        spf::shortest_tree(g, s, mask, options, ws);
+    scratch_ns += std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    spf::RepairReport report;
+    t0 = std::chrono::steady_clock::now();
+    const spf::ShortestPathTree repaired = spf::repair_tree(
+        g, base, mask, options, ws, spf::IncrementalOptions{}, &report);
+    repair_ns += std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+
+    switch (report.kind) {
+      case spf::RepairKind::kRepaired: ++row.repairs; break;
+      case spf::RepairKind::kIdentity: ++row.identities; break;
+      case spf::RepairKind::kScratch: ++row.fallbacks; break;
+    }
+    if (!trees_identical(scratch, repaired)) row.identical = false;
+  }
+  row.scratch_ns = scratch_ns / static_cast<double>(trials);
+  row.repair_ns = repair_ns / static_cast<double>(trials);
+  return row;
+}
+
+std::string spf_bench_json(const std::vector<SpfBenchRow>& rows) {
+  const SpfBenchRow* largest = nullptr;
+  for (const SpfBenchRow& r : rows) {
+    if (largest == nullptr || r.nodes > largest->nodes) largest = &r;
+  }
+  std::ostringstream os;
+  os << "{\n  \"k\": 1,\n  \"networks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SpfBenchRow& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"nodes\": " << r.nodes
+       << ", \"edges\": " << r.edges << ", \"trials\": " << r.trials
+       << ", \"scratch_ns\": " << r.scratch_ns
+       << ", \"repair_ns\": " << r.repair_ns
+       << ", \"speedup\": " << r.speedup() << ", \"repairs\": " << r.repairs
+       << ", \"identities\": " << r.identities
+       << ", \"fallbacks\": " << r.fallbacks << ", \"identical\": "
+       << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"largest\": {\"name\": \"";
+  if (largest != nullptr) {
+    os << largest->name << "\", \"speedup\": " << largest->speedup();
+  } else {
+    os << "\", \"speedup\": 0";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +216,8 @@ int main(int argc, char** argv) {
   const std::size_t pairs = args.get_uint("pairs", 600);
   const std::size_t events = args.get_uint("events", 20);
   const std::size_t max_fails = args.get_uint("max-fails", 3);
+  const std::string spf_json = args.get_string("spf-json", "");
+  const std::size_t spf_trials = args.get_uint("spf-trials", 40);
   if (max_fails == 0) {
     std::cerr << "batch_restore: --max-fails must be at least 1\n";
     return 1;
@@ -160,5 +284,40 @@ int main(int argc, char** argv) {
             << "\nspeedup > 1 requires real hardware parallelism; the "
                "identical column must read 'yes' for every row regardless "
                "of thread count.\n";
+
+  // Incremental repair vs from-scratch SPF under single-link failures.
+  std::cout << "\nIncremental SPT repair vs from-scratch Dijkstra "
+               "(single-edge failures, padded trees, " << spf_trials
+            << " trials per network)\n\n";
+  TablePrinter spf_table({"network", "nodes", "links", "scratch us/tree",
+                          "repair us/tree", "speedup", "repair/identity/"
+                          "fallback", "identical"});
+  std::vector<SpfBenchRow> spf_rows;
+  bool spf_identical = true;
+  for (const auto& net : bench::make_networks(seed, scale)) {
+    Rng rng(seed * 131 + 7);
+    SpfBenchRow row = run_spf_bench(net, spf_trials, rng);
+    spf_identical = spf_identical && row.identical;
+    spf_table.add_row(
+        {row.name, std::to_string(row.nodes), std::to_string(row.edges),
+         TablePrinter::num(row.scratch_ns / 1000.0),
+         TablePrinter::num(row.repair_ns / 1000.0),
+         TablePrinter::num(row.speedup()) + "x",
+         std::to_string(row.repairs) + "/" + std::to_string(row.identities) +
+             "/" + std::to_string(row.fallbacks),
+         row.identical ? "yes" : "NO — BUG"});
+    spf_rows.push_back(std::move(row));
+  }
+  std::cout << spf_table.to_text();
+  if (!spf_json.empty()) {
+    std::ofstream out(spf_json);
+    out << spf_bench_json(spf_rows);
+    std::cout << "\nwrote " << spf_json << "\n";
+  }
+  if (!spf_identical) {
+    std::cerr << "batch_restore: incremental repair diverged from "
+                 "from-scratch SPF\n";
+    return 1;
+  }
   return 0;
 }

@@ -5,14 +5,18 @@
 // re-provisioning, and measure the substrate primitives.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/base_set.hpp"
 #include "core/controller.hpp"
 #include "core/decompose.hpp"
 #include "core/restoration.hpp"
 #include "graph/failure.hpp"
 #include "spf/bypass.hpp"
+#include "spf/incremental.hpp"
 #include "spf/oracle.hpp"
 #include "spf/spf.hpp"
+#include "spf/workspace.hpp"
 #include "topo/generators.hpp"
 #include "util/rng.hpp"
 
@@ -71,6 +75,64 @@ void BM_PaddedDijkstraIsp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaddedDijkstraIsp);
+
+// --- Incremental repair vs from-scratch SPF under a single link failure ---
+//
+// The restoration hot path: a link fails, every affected source needs its
+// post-failure tree. Scratch re-runs Dijkstra over the whole graph; repair
+// re-relaxes only the orphaned subtrees of the cached unfailed tree. Both
+// benchmarks cycle through the same pre-generated (source, failed-edge)
+// scenarios, so their per-iteration times are directly comparable.
+
+struct RepairScenario {
+  NodeId source;
+  spf::ShortestPathTree base;
+  FailureMask mask;
+};
+
+const std::vector<RepairScenario>& isp_failure_scenarios() {
+  static const std::vector<RepairScenario> scenarios = [] {
+    const Graph& g = isp_graph();
+    Rng rng(12);
+    std::vector<RepairScenario> out;
+    for (int i = 0; i < 32; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+      spf::ShortestPathTree base = spf::shortest_tree(
+          g, s, FailureMask::none(), spf::SpfOptions{.padded = true});
+      FailureMask mask;
+      mask.fail_edge(static_cast<graph::EdgeId>(rng.below(g.num_edges())));
+      out.push_back(RepairScenario{s, std::move(base), std::move(mask)});
+    }
+    return out;
+  }();
+  return scenarios;
+}
+
+void BM_SpfScratchSingleFailureIsp(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  const auto& scenarios = isp_failure_scenarios();
+  spf::SpfWorkspace ws;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const RepairScenario& sc = scenarios[i++ % scenarios.size()];
+    benchmark::DoNotOptimize(spf::shortest_tree(
+        g, sc.source, sc.mask, spf::SpfOptions{.padded = true}, ws));
+  }
+}
+BENCHMARK(BM_SpfScratchSingleFailureIsp);
+
+void BM_SpfRepairSingleFailureIsp(benchmark::State& state) {
+  const Graph& g = isp_graph();
+  const auto& scenarios = isp_failure_scenarios();
+  spf::SpfWorkspace ws;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const RepairScenario& sc = scenarios[i++ % scenarios.size()];
+    benchmark::DoNotOptimize(spf::repair_tree(
+        g, sc.base, sc.mask, spf::SpfOptions{.padded = true}, ws));
+  }
+}
+BENCHMARK(BM_SpfRepairSingleFailureIsp);
 
 void BM_SourceRbpcRestore(benchmark::State& state) {
   const Graph& g = isp_graph();

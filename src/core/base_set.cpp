@@ -29,6 +29,10 @@ graph::Path AllPairsShortestBaseSet::base_path(graph::NodeId u,
   return oracle_.some_shortest_path(u, v);
 }
 
+bool AllPairsShortestBaseSet::connected(graph::NodeId u, graph::NodeId v) {
+  return u == v || oracle_.reachable(u, v);
+}
+
 // --- CanonicalBaseSet --------------------------------------------------------
 
 CanonicalBaseSet::CanonicalBaseSet(spf::DistanceOracle& oracle)
@@ -49,6 +53,10 @@ bool CanonicalBaseSet::contains(const graph::Path& segment) {
 graph::Path CanonicalBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
   if (u == v) return graph::Path::trivial(u);
   return oracle_.canonical_path(u, v);
+}
+
+bool CanonicalBaseSet::connected(graph::NodeId u, graph::NodeId v) {
+  return u == v || oracle_.canonical_reachable(u, v);
 }
 
 // --- ExpandedBaseSet ---------------------------------------------------------
@@ -81,6 +89,10 @@ bool ExpandedBaseSet::contains(const graph::Path& segment) {
 graph::Path ExpandedBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
   if (u == v) return graph::Path::trivial(u);
   return oracle_.canonical_path(u, v);
+}
+
+bool ExpandedBaseSet::connected(graph::NodeId u, graph::NodeId v) {
+  return u == v || oracle_.canonical_reachable(u, v);
 }
 
 }  // namespace rbpc::core

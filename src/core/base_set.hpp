@@ -49,6 +49,12 @@ class BasePathSet {
   /// (disconnected pair). Used by provisioning and overlay decomposition.
   virtual graph::Path base_path(graph::NodeId u, graph::NodeId v) = 0;
 
+  /// True when the set has *some* base path u -> v, i.e. base_path(u, v)
+  /// would be non-empty. O(1) against the oracle's cached tree at u — lets
+  /// overlay decomposition skip unreachable targets without materializing
+  /// a path.
+  virtual bool connected(graph::NodeId u, graph::NodeId v) = 0;
+
   /// True when membership of a path's prefixes is monotone (every prefix of
   /// a member is a member). Greedy longest-prefix decomposition may then
   /// binary-search prefix lengths.
@@ -68,6 +74,7 @@ class AllPairsShortestBaseSet final : public BasePathSet {
   spf::Metric metric() const override;
   bool contains(const graph::Path& segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  bool connected(graph::NodeId u, graph::NodeId v) override;
   bool prefix_monotone() const override { return true; }
   const char* name() const override { return "all-pairs-shortest"; }
 
@@ -84,6 +91,7 @@ class CanonicalBaseSet final : public BasePathSet {
   spf::Metric metric() const override;
   bool contains(const graph::Path& segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  bool connected(graph::NodeId u, graph::NodeId v) override;
   bool prefix_monotone() const override { return true; }
   const char* name() const override { return "canonical-one-per-pair"; }
 
@@ -100,6 +108,7 @@ class ExpandedBaseSet final : public BasePathSet {
   spf::Metric metric() const override;
   bool contains(const graph::Path& segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  bool connected(graph::NodeId u, graph::NodeId v) override;
   /// Subpath-closed: a prefix of "canonical + trailing edge" is either a
   /// canonical subpath or a shorter canonical + the same edge, and likewise
   /// for leading extensions. Greedy may therefore binary-search prefixes.

@@ -13,7 +13,11 @@ using graph::NodeId;
 using graph::Path;
 
 BatchRestorer::BatchRestorer(BasePathSet& base, BatchOptions options)
-    : base_(base), pool_(options.threads) {}
+    : base_(base),
+      pool_(options.threads),
+      unfailed_trees_(base.graph(), FailureMask{},
+                      spf::SpfOptions{.metric = base.metric(),
+                                      .padded = true}) {}
 
 void BatchRestorer::reset_cache_for(const FailureMask& mask) {
   std::vector<graph::EdgeId> edges = mask.failed_edges();
@@ -25,11 +29,14 @@ void BatchRestorer::reset_cache_for(const FailureMask& mask) {
   if (cache_) {
     retired_hits_ += cache_->hits();
     retired_misses_ += cache_->misses();
+    retired_repairs_ += cache_->repairs();
+    retired_fallbacks_ += cache_->repair_fallbacks();
     ++stats_.mask_changes;
   }
   cache_ = std::make_unique<spf::TreeCache>(
       base_.graph(), mask,
-      spf::SpfOptions{.metric = base_.metric(), .padded = true});
+      spf::SpfOptions{.metric = base_.metric(), .padded = true},
+      spf::TreeCacheOptions{}, &unfailed_trees_);
   cache_failed_edges_ = std::move(edges);
   cache_failed_nodes_ = std::move(nodes);
   cache_valid_ = true;
@@ -51,10 +58,11 @@ std::vector<Restoration> BatchRestorer::restore_all(
   std::vector<Restoration> results(jobs.size());
   pool_.parallel_for(jobs.size(), [&](std::size_t i) {
     const RestoreJob& job = jobs[i];
-    const spf::ShortestPathTree& tree = cache_->tree(job.src);
-    if (!tree.reachable(job.dst)) return;  // results[i] stays !restored()
+    const std::shared_ptr<const spf::ShortestPathTree> tree =
+        cache_->tree(job.src);
+    if (!tree->reachable(job.dst)) return;  // results[i] stays !restored()
     Restoration r;
-    r.backup = tree.path_to(g, job.dst);
+    r.backup = tree->path_to(g, job.dst);
     {
       // Membership oracles cache trees of the *unfailed* network and are
       // not thread-safe; decomposition serializes here.
@@ -76,6 +84,8 @@ std::vector<Restoration> BatchRestorer::restore_all(
   }
   stats_.spf_cache_hits = retired_hits_ + cache_->hits();
   stats_.spf_cache_misses = retired_misses_ + cache_->misses();
+  stats_.spf_repairs = retired_repairs_ + cache_->repairs();
+  stats_.spf_repair_fallbacks = retired_fallbacks_ + cache_->repair_fallbacks();
   return results;
 }
 

@@ -10,6 +10,13 @@
 //    re-running SPF per pair; the cache persists across restore_all calls
 //    as long as the mask is unchanged (repeated queries under one failure);
 //
+//  * incremental SPT repair — a second, mask-independent cache holds each
+//    source's *unfailed* tree; per-mask trees are derived from it by
+//    spf::repair_tree, which re-relaxes only the region orphaned by the
+//    failures instead of re-running Dijkstra over the whole graph. The
+//    unfailed trees survive mask changes, so a failure storm pays one full
+//    SPF per source total, plus damage-proportional repairs per event;
+//
 //  * deterministic reduction — result i is written to slot i regardless of
 //    which worker computed it, so the output is byte-identical to the
 //    serial loop for every thread count (including 1). Determinism rests on
@@ -59,8 +66,10 @@ struct BatchStats {
   std::size_t unrestorable = 0;   ///< jobs disconnected by the mask
   std::size_t max_pc_length = 0;  ///< worst concatenation length seen
   std::size_t spf_cache_hits = 0;    ///< jobs served by a shared tree
-  std::size_t spf_cache_misses = 0;  ///< SPF runs actually performed
+  std::size_t spf_cache_misses = 0;  ///< per-mask trees actually computed
   std::size_t mask_changes = 0;   ///< cache resets due to a new mask
+  std::size_t spf_repairs = 0;    ///< misses served by incremental repair
+  std::size_t spf_repair_fallbacks = 0;  ///< misses that fell back to scratch
 
   /// Fraction of per-source tree lookups served without running SPF.
   double spf_hit_rate() const {
@@ -99,14 +108,19 @@ class BatchRestorer {
   BasePathSet& base_;
   ThreadPool pool_;
   std::mutex base_mu_;  // guards base_ during decomposition
+  // Unfailed trees, shared by every per-mask cache as the repair baseline;
+  // survives mask changes so each source pays for one full SPF total.
+  spf::TreeCache unfailed_trees_;
   std::unique_ptr<spf::TreeCache> cache_;
   // Fingerprint of the mask the cache was built for.
   std::vector<graph::EdgeId> cache_failed_edges_;
   std::vector<graph::NodeId> cache_failed_nodes_;
   bool cache_valid_ = false;
-  // Hit/miss totals of caches retired by mask changes.
+  // Counter totals of caches retired by mask changes.
   std::size_t retired_hits_ = 0;
   std::size_t retired_misses_ = 0;
+  std::size_t retired_repairs_ = 0;
+  std::size_t retired_fallbacks_ = 0;
   BatchStats stats_;
 };
 

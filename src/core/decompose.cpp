@@ -21,7 +21,10 @@ std::size_t Decomposition::base_count() const {
 
 Path Decomposition::joined() const {
   Path out;
-  for (const Path& p : pieces) out = out.concat(p);
+  std::size_t total = 0;
+  for (const Path& p : pieces) total += p.hops();
+  out.reserve(total);
+  for (const Path& p : pieces) out.append(p);
   return out;
 }
 
@@ -132,9 +135,11 @@ Decomposition overlay_decompose(BasePathSet& base,
     // Moves along surviving base paths x -> y (cost of the path, 1 piece).
     // base_path is defined on the unfailed network; survival is re-checked
     // against mask. The sets' oracles cache the SPF tree at x, so probing
-    // all targets costs O(n * path length), not n tree builds.
+    // all targets costs O(n * path length), not n tree builds; targets the
+    // cached tree cannot even reach are skipped before materializing a
+    // path at all (connected() is an O(1) probe of the same tree).
     for (NodeId y = 0; y < g.num_nodes(); ++y) {
-      if (y == x || !mask.node_alive(y)) continue;
+      if (y == x || !mask.node_alive(y) || !base.connected(x, y)) continue;
       const Path bp = base.base_path(x, y);
       if (bp.empty() || !bp.alive(g, mask)) continue;
       Weight cost = 0;

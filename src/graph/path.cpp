@@ -125,10 +125,25 @@ Path Path::concat(const Path& other) const {
   require(target() == other.source(),
           "Path::concat: second path must start where the first ends");
   Path out = *this;
-  out.nodes_.insert(out.nodes_.end(), other.nodes_.begin() + 1,
-                    other.nodes_.end());
-  out.edges_.insert(out.edges_.end(), other.edges_.begin(), other.edges_.end());
+  out.append(other);
   return out;
+}
+
+void Path::reserve(std::size_t hops) {
+  nodes_.reserve(hops + 1);
+  edges_.reserve(hops);
+}
+
+void Path::append(const Path& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  require(target() == other.source(),
+          "Path::append: second path must start where the first ends");
+  nodes_.insert(nodes_.end(), other.nodes_.begin() + 1, other.nodes_.end());
+  edges_.insert(edges_.end(), other.edges_.begin(), other.edges_.end());
 }
 
 Path Path::subpath(std::size_t from, std::size_t to) const {

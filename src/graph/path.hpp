@@ -72,6 +72,15 @@ class Path {
   /// Concatenation: `other` must start at this path's target.
   Path concat(const Path& other) const;
 
+  /// In-place concatenation: appends `other` (which must start at this
+  /// path's target; appending to an empty path copies `other`). Equivalent
+  /// to *this = concat(other) without the intermediate copy, so folding m
+  /// pieces of total length L costs O(L), not O(m * L).
+  void append(const Path& other);
+
+  /// Reserves capacity for a path of `hops` edges (hops + 1 nodes).
+  void reserve(std::size_t hops);
+
   /// Subpath spanning node indices [from, to] inclusive.
   /// Precondition: from <= to < num_nodes().
   Path subpath(std::size_t from, std::size_t to) const;

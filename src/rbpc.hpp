@@ -6,8 +6,10 @@
 //            fixed-size thread pool backing the parallel engines
 //   graph  — graphs, paths, failure masks, analysis, serialization
 //   spf    — shortest-path machinery (Dijkstra/BFS, padding, oracle,
-//            bypass, disjoint pairs, k-shortest, APSP, bidirectional) and
-//            the thread-safe per-source tree cache (tree_cache)
+//            bypass, disjoint pairs, k-shortest, APSP, bidirectional), the
+//            allocation-free SPF workspace kernel (workspace), incremental
+//            SPT repair (incremental), and the thread-safe per-source tree
+//            cache (tree_cache)
 //   topo   — topology generators and the paper's gadget constructions
 //   lsdb   — link-state database, discrete events, failure floods
 //   mpls   — label switching: LSRs, ILM/FEC, LSPs, merged trees, LDP model
@@ -41,11 +43,13 @@
 #include "spf/bypass.hpp"         // IWYU pragma: export
 #include "spf/counting.hpp"       // IWYU pragma: export
 #include "spf/disjoint.hpp"       // IWYU pragma: export
+#include "spf/incremental.hpp"    // IWYU pragma: export
 #include "spf/metric.hpp"         // IWYU pragma: export
 #include "spf/oracle.hpp"         // IWYU pragma: export
 #include "spf/spf.hpp"            // IWYU pragma: export
 #include "spf/tree.hpp"           // IWYU pragma: export
 #include "spf/tree_cache.hpp"     // IWYU pragma: export
+#include "spf/workspace.hpp"      // IWYU pragma: export
 #include "spf/yen.hpp"            // IWYU pragma: export
 
 #include "topo/gadgets.hpp"     // IWYU pragma: export

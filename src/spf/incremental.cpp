@@ -1,0 +1,178 @@
+#include "spf/incremental.hpp"
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rbpc::spf {
+
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+/// True for the flavors computed by the heap kernel (whose tie-breaking the
+/// repair can reproduce); the plain-BFS hop flavor is not repairable.
+bool heap_flavor(const SpfOptions& options) {
+  return options.metric == Metric::Weighted || options.padded;
+}
+
+}  // namespace
+
+ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
+                             const FailureMask& mask, SpfOptions options,
+                             SpfWorkspace& ws, IncrementalOptions incremental,
+                             RepairReport* report) {
+  const NodeId source = base.source();
+  require(mask.node_alive(source), "repair_tree: source router is failed");
+  require(options.stop_at == graph::kInvalidNode,
+          "repair_tree: repair is defined for full trees only");
+  require(options.metric == base.metric() && options.padded == base.padded(),
+          "repair_tree: options disagree with the base tree's flavor");
+  require(base.num_nodes() == g.num_nodes(),
+          "repair_tree: base tree does not match the graph");
+
+  const auto finish = [&](RepairKind kind, std::size_t orphaned) {
+    if (report != nullptr) {
+      report->kind = kind;
+      report->orphaned = orphaned;
+    }
+  };
+
+  if (g.directed() || !heap_flavor(options)) {
+    // No local characterization of the from-scratch tie-breaking (BFS) or
+    // of incoming arcs (directed CSR): recompute.
+    finish(RepairKind::kScratch, 0);
+    return shortest_tree(g, source, mask, options, ws);
+  }
+  if (mask.empty()) {
+    finish(RepairKind::kIdentity, 0);
+    return base;
+  }
+
+  ws.begin(g.num_nodes());
+  std::vector<NodeId>& region = ws.scratch_nodes();
+  const auto mark = [&](NodeId x) {
+    SpfWorkspace::Node& nx = ws.node(x);
+    if (!nx.in_region) {
+      nx.in_region = true;
+      region.push_back(x);
+    }
+  };
+
+  // Orphan roots: nodes cut from the tree directly by a failure — a failed
+  // parent edge, a failed parent router, or being failed themselves.
+  for (const EdgeId e : mask.failed_edges()) {
+    const graph::Edge& ed = g.edge(e);
+    if (base.parent_edge(ed.u) == e) mark(ed.u);
+    if (base.parent_edge(ed.v) == e) mark(ed.v);
+  }
+  for (const NodeId u : mask.failed_nodes()) {
+    if (u >= g.num_nodes() || !base.reachable(u)) continue;
+    mark(u);
+    for (const graph::Arc& a : g.arcs(u)) {
+      if (base.parent(a.to) == u && base.parent_edge(a.to) == a.edge) {
+        mark(a.to);
+      }
+    }
+  }
+  if (region.empty()) {
+    // Every failed element was outside the tree: removing a non-tree edge
+    // changes no key and no first-achieving relaxation, so the tree is
+    // unchanged verbatim.
+    finish(RepairKind::kIdentity, 0);
+    return base;
+  }
+
+  // Collect the orphaned subtrees by descending tree edges through the
+  // graph adjacency (ShortestPathTree stores no child lists; this keeps
+  // the cost proportional to the region's degree sum, not to n). Bail out
+  // to from-scratch once the region outgrows the fallback threshold.
+  const std::size_t limit = static_cast<std::size_t>(
+      incremental.max_affected_fraction *
+      static_cast<double>(g.num_nodes()));
+  for (std::size_t head = 0; head < region.size(); ++head) {
+    if (region.size() > limit) {
+      finish(RepairKind::kScratch, 0);
+      return shortest_tree(g, source, mask, options, ws);
+    }
+    const NodeId v = region[head];
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (base.parent(a.to) == v && base.parent_edge(a.to) == a.edge) {
+        mark(a.to);
+      }
+    }
+  }
+
+  ShortestPathTree out = base;
+  for (const NodeId v : region) {
+    out.settle(v, graph::kUnreachable, graph::kUnreachable, 0,
+               graph::kInvalidNode, graph::kInvalidEdge);
+  }
+
+  // Re-relax the region. Offers carry the offering node's heap key so that
+  // equal-key parent ties resolve by (key(u), u, edge) — the same winner a
+  // from-scratch run's first-achieving relaxation picks (see the header).
+  FourAryHeap& heap = ws.heap();
+  const auto relax = [&](NodeId to, EdgeId e, NodeId from, Weight from_key,
+                         Weight from_dist, std::uint32_t from_hops) {
+    const Weight step = options.padded
+                            ? padded_weight(g, e, options.metric)
+                            : metric_weight(g, e, options.metric);
+    const Weight alt = from_key + step;
+    SpfWorkspace::Node& nt = ws.node(to);
+    if (nt.settled) return;
+    const bool better =
+        alt < nt.key ||
+        (alt == nt.key &&
+         std::tuple(from_key, from, e) <
+             std::tuple(nt.parent_key, nt.parent, nt.parent_edge));
+    if (!better) return;
+    const bool improved = alt < nt.key;
+    nt.key = alt;
+    nt.dist = from_dist + metric_weight(g, e, options.metric);
+    nt.hops = from_hops + 1;
+    nt.parent = from;
+    nt.parent_edge = e;
+    nt.parent_key = from_key;
+    if (improved) heap.push(alt, to);
+  };
+
+  // Seed with every surviving offer from the intact part of the tree into
+  // the region (the graph is undirected, so scanning a region node's arcs
+  // enumerates its incoming boundary edges).
+  for (const NodeId v : region) {
+    if (!mask.node_alive(v)) continue;  // failed routers stay unreachable
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge)) continue;
+      const NodeId u = a.to;
+      if (ws.node(u).in_region || !base.reachable(u)) continue;
+      relax(v, a.edge, u, base.key(u), base.dist(u), base.hops(u));
+    }
+  }
+
+  // Local Dijkstra over the region; nodes the heap never reaches stay
+  // reset (unreachable), exactly as a from-scratch run leaves them.
+  while (!heap.empty()) {
+    const auto [k, v] = heap.pop();
+    SpfWorkspace::Node& nv = ws.node(v);
+    if (nv.settled || k != nv.key) continue;  // stale entry
+    nv.settled = true;
+    out.settle(v, nv.key, nv.dist, nv.hops, nv.parent, nv.parent_edge);
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge)) continue;
+      if (!ws.node(a.to).in_region) continue;  // intact labels are final
+      relax(a.to, a.edge, v, nv.key, nv.dist, nv.hops);
+    }
+  }
+
+  finish(RepairKind::kRepaired, region.size());
+  return out;
+}
+
+}  // namespace rbpc::spf

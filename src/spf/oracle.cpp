@@ -67,6 +67,15 @@ bool DistanceOracle::reachable(graph::NodeId u, graph::NodeId v) {
   return dist(u, v) != graph::kUnreachable;
 }
 
+bool DistanceOracle::canonical_reachable(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return true;
+  if (const ShortestPathTree* t = peek(u)) return t->reachable(v);
+  if (!g_.directed()) {
+    if (const ShortestPathTree* t = peek(v)) return t->reachable(u);
+  }
+  return padded_tree(u).reachable(v);
+}
+
 graph::Path DistanceOracle::some_shortest_path(graph::NodeId u,
                                                graph::NodeId v) {
   const ShortestPathTree& t = tree(u);

@@ -43,6 +43,11 @@ class DistanceOracle {
 
   bool reachable(graph::NodeId u, graph::NodeId v);
 
+  /// Reachability probe that prefers the padded tree at u, so callers that
+  /// otherwise only query canonical paths never force a plain-flavor SPF.
+  /// (Reachability itself is flavor-independent.)
+  bool canonical_reachable(graph::NodeId u, graph::NodeId v);
+
   /// Some shortest u->v path (the plain tree's path); empty if unreachable.
   graph::Path some_shortest_path(graph::NodeId u, graph::NodeId v);
 

@@ -1,11 +1,10 @@
 #include "spf/spf.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "spf/workspace.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::spf {
@@ -19,70 +18,71 @@ using graph::NodeId;
 using graph::Weight;
 
 /// BFS for the hop metric (no padding): linear time, deterministic because
-/// adjacency lists are sorted.
+/// adjacency lists are sorted. The workspace provides the FIFO queue;
+/// reachability doubles as the visited set, so no per-node scratch is
+/// needed.
 ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask,
-                          const SpfOptions& options) {
+                          const SpfOptions& options, SpfWorkspace& ws) {
   ShortestPathTree tree(source, g.num_nodes(), Metric::Hops, /*padded=*/false);
-  tree.settle(source, 0, 0, graph::kInvalidNode, graph::kInvalidEdge);
-  std::deque<NodeId> queue{source};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
+  tree.settle(source, 0, 0, 0, graph::kInvalidNode, graph::kInvalidEdge);
+  ws.begin(g.num_nodes());
+  std::vector<NodeId>& queue = ws.scratch_nodes();
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
     if (v == options.stop_at) break;
     const Weight d = tree.dist(v);
     for (const graph::Arc& a : g.arcs(v)) {
       if (!mask.edge_alive(g, a.edge) || tree.reachable(a.to)) continue;
-      tree.settle(a.to, d + 1, static_cast<std::uint32_t>(d + 1), v, a.edge);
+      tree.settle(a.to, d + 1, d + 1, static_cast<std::uint32_t>(d + 1), v,
+                  a.edge);
       queue.push_back(a.to);
     }
   }
   return tree;
 }
 
-/// Binary-heap Dijkstra with lazy deletion. When options.padded, the heap
+/// Heap Dijkstra with lazy deletion on workspace scratch (no per-call
+/// allocations once the workspace is warm). When options.padded, the heap
 /// key is the padded cost; the tree's recorded dist is always the true cost
 /// (padding preserves strict order of true costs, so the padded-optimal
 /// path is a true shortest path).
 ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
                                const FailureMask& mask,
-                               const SpfOptions& options) {
+                               const SpfOptions& options, SpfWorkspace& ws) {
   ShortestPathTree tree(source, g.num_nodes(), options.metric, options.padded);
 
-  const Weight inf = graph::kUnreachable;
-  std::vector<Weight> key(g.num_nodes(), inf);        // heap key (maybe padded)
-  std::vector<Weight> truedist(g.num_nodes(), inf);   // metric cost
-  std::vector<std::uint32_t> hops(g.num_nodes(), 0);
-  std::vector<NodeId> parent(g.num_nodes(), graph::kInvalidNode);
-  std::vector<EdgeId> parent_edge(g.num_nodes(), graph::kInvalidEdge);
-  std::vector<bool> settled(g.num_nodes(), false);
-
-  using HeapItem = std::pair<Weight, NodeId>;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  key[source] = 0;
-  truedist[source] = 0;
-  heap.push({0, source});
+  ws.begin(g.num_nodes());
+  FourAryHeap& heap = ws.heap();
+  {
+    SpfWorkspace::Node& src = ws.node(source);
+    src.key = 0;
+    src.dist = 0;
+  }
+  heap.push(0, source);
 
   while (!heap.empty()) {
-    const auto [k, v] = heap.top();
-    heap.pop();
-    if (settled[v] || k != key[v]) continue;  // stale entry
-    settled[v] = true;
-    tree.settle(v, truedist[v], hops[v], parent[v], parent_edge[v]);
+    const auto [k, v] = heap.pop();
+    SpfWorkspace::Node& nv = ws.node(v);
+    if (nv.settled || k != nv.key) continue;  // stale entry
+    nv.settled = true;
+    tree.settle(v, nv.key, nv.dist, nv.hops, nv.parent, nv.parent_edge);
     if (v == options.stop_at) break;
     for (const graph::Arc& a : g.arcs(v)) {
-      if (!mask.edge_alive(g, a.edge) || settled[a.to]) continue;
+      if (!mask.edge_alive(g, a.edge)) continue;
+      SpfWorkspace::Node& nt = ws.node(a.to);
+      if (nt.settled) continue;
       const Weight step = options.padded
                               ? padded_weight(g, a.edge, options.metric)
                               : metric_weight(g, a.edge, options.metric);
-      const Weight alt = key[v] + step;
-      if (alt < key[a.to]) {
-        key[a.to] = alt;
-        truedist[a.to] =
-            truedist[v] + metric_weight(g, a.edge, options.metric);
-        hops[a.to] = hops[v] + 1;
-        parent[a.to] = v;
-        parent_edge[a.to] = a.edge;
-        heap.push({alt, a.to});
+      const Weight alt = nv.key + step;
+      if (alt < nt.key) {
+        nt.key = alt;
+        nt.dist = nv.dist + metric_weight(g, a.edge, options.metric);
+        nt.hops = nv.hops + 1;
+        nt.parent = v;
+        nt.parent_edge = a.edge;
+        heap.push(alt, a.to);
       }
     }
   }
@@ -92,13 +92,19 @@ ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
 }  // namespace
 
 ShortestPathTree shortest_tree(const Graph& g, NodeId source,
-                               const FailureMask& mask, SpfOptions options) {
+                               const FailureMask& mask, SpfOptions options,
+                               SpfWorkspace& workspace) {
   require(source < g.num_nodes(), "shortest_tree: source out of range");
   require(mask.node_alive(source), "shortest_tree: source router is failed");
   if (options.metric == Metric::Hops && !options.padded) {
-    return bfs_tree(g, source, mask, options);
+    return bfs_tree(g, source, mask, options, workspace);
   }
-  return dijkstra_tree(g, source, mask, options);
+  return dijkstra_tree(g, source, mask, options, workspace);
+}
+
+ShortestPathTree shortest_tree(const Graph& g, NodeId source,
+                               const FailureMask& mask, SpfOptions options) {
+  return shortest_tree(g, source, mask, options, thread_workspace());
 }
 
 graph::Path shortest_path(const Graph& g, NodeId s, NodeId t,

@@ -13,6 +13,7 @@
 #include "graph/path.hpp"
 #include "spf/metric.hpp"
 #include "spf/tree.hpp"
+#include "spf/workspace.hpp"
 
 namespace rbpc::spf {
 
@@ -33,6 +34,15 @@ struct SpfOptions {
 ShortestPathTree shortest_tree(const graph::Graph& g, graph::NodeId source,
                                const graph::FailureMask& mask = graph::FailureMask::none(),
                                SpfOptions options = {});
+
+/// Same computation through an explicit caller-owned workspace (see
+/// spf/workspace.hpp). The no-workspace overload uses the calling thread's
+/// thread_workspace(); pass one explicitly only to control scratch reuse
+/// (e.g. a long-lived engine that wants its allocations accounted). The
+/// result is identical either way — the workspace never influences output.
+ShortestPathTree shortest_tree(const graph::Graph& g, graph::NodeId source,
+                               const graph::FailureMask& mask,
+                               SpfOptions options, SpfWorkspace& workspace);
 
 /// Single-pair shortest path; the empty Path when t is unreachable from s.
 graph::Path shortest_path(const graph::Graph& g, graph::NodeId s,

@@ -11,6 +11,7 @@ ShortestPathTree::ShortestPathTree(graph::NodeId source, std::size_t num_nodes,
     : source_(source),
       metric_(metric),
       padded_(padded),
+      key_(num_nodes, graph::kUnreachable),
       dist_(num_nodes, graph::kUnreachable),
       hops_(num_nodes, 0),
       parent_(num_nodes, graph::kInvalidNode),
@@ -62,10 +63,17 @@ graph::Path ShortestPathTree::path_to(const graph::Graph& g,
   return graph::Path::from_parts(g, std::move(nodes), std::move(edges));
 }
 
-void ShortestPathTree::settle(graph::NodeId v, graph::Weight dist,
-                              std::uint32_t hops, graph::NodeId parent,
+graph::Weight ShortestPathTree::key(graph::NodeId v) const {
+  require(v < key_.size(), "ShortestPathTree::key: node out of range");
+  return key_[v];
+}
+
+void ShortestPathTree::settle(graph::NodeId v, graph::Weight key,
+                              graph::Weight dist, std::uint32_t hops,
+                              graph::NodeId parent,
                               graph::EdgeId parent_edge) {
   RBPC_ASSERT(v < dist_.size());
+  key_[v] = key;
   dist_[v] = dist;
   hops_[v] = hops;
   parent_[v] = parent;

@@ -31,19 +31,30 @@ class ShortestPathTree {
   graph::NodeId parent(graph::NodeId v) const;
   graph::EdgeId parent_edge(graph::NodeId v) const;
 
+  /// The heap key under which v settled: the padded cost for padded runs,
+  /// the true cost otherwise; kUnreachable when v is not reachable. Stored
+  /// so that incremental repair (spf/incremental.hpp) can reproduce the
+  /// exact settle order and tie-breaking of a from-scratch run at the
+  /// boundary of the repaired region.
+  graph::Weight key(graph::NodeId v) const;
+
   /// Reconstructs the tree path source -> v. Precondition: reachable(v).
   graph::Path path_to(const graph::Graph& g, graph::NodeId v) const;
 
   std::size_t num_nodes() const { return dist_.size(); }
 
-  // Mutators used by the SPF implementations.
-  void settle(graph::NodeId v, graph::Weight dist, std::uint32_t hops,
-              graph::NodeId parent, graph::EdgeId parent_edge);
+  // Mutators used by the SPF implementations. `key` is the heap key
+  // (== dist for unpadded runs); settling with key == kUnreachable resets
+  // v to the unreached state (used by incremental repair on orphans).
+  void settle(graph::NodeId v, graph::Weight key, graph::Weight dist,
+              std::uint32_t hops, graph::NodeId parent,
+              graph::EdgeId parent_edge);
 
  private:
   graph::NodeId source_;
   Metric metric_;
   bool padded_;
+  std::vector<graph::Weight> key_;
   std::vector<graph::Weight> dist_;
   std::vector<std::uint32_t> hops_;
   std::vector<graph::NodeId> parent_;

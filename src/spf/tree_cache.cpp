@@ -7,37 +7,104 @@
 namespace rbpc::spf {
 
 TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
-                     SpfOptions options)
-    : g_(g), mask_(std::move(mask)), options_(options) {
+                     SpfOptions options, TreeCacheOptions cache_options)
+    : TreeCache(g, std::move(mask), options, cache_options, nullptr) {}
+
+TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
+                     SpfOptions options, TreeCacheOptions cache_options,
+                     TreeCache* base, IncrementalOptions incremental)
+    : g_(g),
+      mask_(std::move(mask)),
+      options_(options),
+      cache_options_(cache_options),
+      base_(base),
+      incremental_(incremental) {
   require(options_.stop_at == graph::kInvalidNode,
           "TreeCache: cached trees must be full runs (no stop_at)");
+  if (base_ != nullptr) {
+    require(&base_->graph() == &g_,
+            "TreeCache: base cache is for a different graph");
+    require(base_->options().metric == options_.metric &&
+                base_->options().padded == options_.padded,
+            "TreeCache: base cache has a different SPF flavor");
+  }
 }
 
-const ShortestPathTree& TreeCache::tree(graph::NodeId source) {
-  Entry* entry;
+std::shared_ptr<const ShortestPathTree> TreeCache::compute(
+    graph::NodeId source) {
+  // The repair path pays off only when there is a delta to repair; an
+  // identical mask (base == this configuration) would just memcpy trees.
+  if (base_ != nullptr && !mask_.empty()) {
+    const std::shared_ptr<const ShortestPathTree> base_tree =
+        base_->tree(source);
+    RepairReport report;
+    auto tree = std::make_shared<ShortestPathTree>(
+        repair_tree(g_, *base_tree, mask_, options_, thread_workspace(),
+                    incremental_, &report));
+    if (report.kind == RepairKind::kScratch) {
+      repair_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      repairs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return tree;
+  }
+  return std::make_shared<ShortestPathTree>(
+      shortest_tree(g_, source, mask_, options_));
+}
+
+std::shared_ptr<const ShortestPathTree> TreeCache::tree(
+    graph::NodeId source) {
+  std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::unique_ptr<Entry>& slot = entries_[source];
-    if (!slot) slot = std::make_unique<Entry>();
-    entry = slot.get();
+    std::shared_ptr<Entry>& slot = entries_[source];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
   }
-  // Entry addresses are stable (unique_ptr) and entries are never erased
-  // while tree() callers are active, so the computation runs outside the
-  // map lock: other sources proceed in parallel, same-source callers block
-  // here. call_once leaves the flag unset on exception, so a failed source
+  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  // Entries are shared_ptrs, so eviction or clear() cannot invalidate the
+  // one we hold; the computation runs outside the map lock so other
+  // sources proceed in parallel while same-source callers block here.
+  // call_once leaves the flag unset on exception, so a failed source
   // throws to every waiter and is retried by later calls.
   bool computed = false;
   std::call_once(entry->once, [&] {
-    entry->tree = std::make_unique<ShortestPathTree>(
-        shortest_tree(g_, source, mask_, options_));
+    entry->tree = compute(source);
+    entry->ready.store(true, std::memory_order_release);
     computed = true;
   });
   if (computed) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_options_.max_entries != 0) evict_over_cap();
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  return *entry->tree;
+  return entry->tree;
+}
+
+void TreeCache::evict_over_cap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (entries_.size() > cache_options_.max_entries) {
+    // Drop the least-recently-used settled tree. Entries still being
+    // computed are skipped (their Entry is pinned by the computing thread
+    // anyway); with a sane cap this transient overshoot is at most the
+    // number of in-flight computations.
+    auto victim = entries_.end();
+    std::uint64_t victim_used = ~std::uint64_t{0};
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->ready.load(std::memory_order_acquire)) continue;
+      const std::uint64_t used =
+          it->second->last_used.load(std::memory_order_relaxed);
+      if (used <= victim_used) {
+        victim = it;
+        victim_used = used;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything in flight
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::size_t TreeCache::size() const {

@@ -4,10 +4,24 @@
 // This is the sharing layer of the batch restoration engine (core/batch.hpp):
 // after a failure event, every affected LSP rooted at the same source reuses
 // one spf::shortest_tree instead of re-running SPF per pair. Unlike
-// spf::DistanceOracle (single-threaded, LRU-evicting, two tree flavors),
-// TreeCache is concurrency-first: any number of threads may request trees;
-// concurrent requests for the same source block on one computation
-// (std::call_once) so each tree is built exactly once.
+// spf::DistanceOracle (single-threaded, two tree flavors), TreeCache is
+// concurrency-first: any number of threads may request trees; concurrent
+// requests for the same source block on one computation (std::call_once)
+// so each tree is built exactly once.
+//
+// Two computation modes:
+//  * from scratch — spf::shortest_tree under this cache's mask;
+//  * incremental repair — when constructed over a *base* TreeCache
+//    (typically the unfailed network's trees), each tree is derived from
+//    the base tree by spf::repair_tree, which re-relaxes only the region
+//    orphaned by the extra failures. Results are bit-identical either way;
+//    repair only changes the cost of a miss.
+//
+// Memory is bounded by TreeCacheOptions::max_entries (0 = unbounded):
+// past the cap, the least-recently-used settled tree is evicted. Because
+// tree() hands out shared_ptrs, eviction can never invalidate a tree a
+// caller is still reading — the entry just leaves the cache and is
+// recomputed on the next request.
 //
 // Trees are always full one-to-all runs (options.stop_at must be unset) —
 // the point of the cache is that one run answers every destination.
@@ -21,59 +35,99 @@
 
 #include "graph/failure.hpp"
 #include "graph/graph.hpp"
+#include "spf/incremental.hpp"
 #include "spf/spf.hpp"
 #include "spf/tree.hpp"
 
 namespace rbpc::spf {
 
+struct TreeCacheOptions {
+  /// Maximum number of cached trees; 0 means unbounded. On 40k-node
+  /// topologies each tree costs ~1.5 MB, so storm drivers that sweep many
+  /// sources should set a cap sized to their source locality.
+  std::size_t max_entries = 0;
+};
+
 class TreeCache {
  public:
-  /// The cache copies `mask`; `g` must outlive the cache. Throws
+  /// From-scratch cache. Copies `mask`; `g` must outlive the cache. Throws
   /// PreconditionError when options.stop_at is set (cached trees must cover
   /// every destination).
   TreeCache(const graph::Graph& g, graph::FailureMask mask,
-            SpfOptions options = {});
+            SpfOptions options = {}, TreeCacheOptions cache_options = {});
+
+  /// Repair-mode cache: trees are derived from `base`'s trees (same graph
+  /// and SpfOptions, a failure mask that is a subset of this cache's) by
+  /// incremental SPT repair. `base` must outlive this cache; it is shared,
+  /// so its own thread-safety guarantees apply. Passing base == nullptr
+  /// degrades to the from-scratch constructor.
+  TreeCache(const graph::Graph& g, graph::FailureMask mask,
+            SpfOptions options, TreeCacheOptions cache_options,
+            TreeCache* base, IncrementalOptions incremental = {});
 
   const graph::Graph& graph() const { return g_; }
   const graph::FailureMask& mask() const { return mask_; }
   const SpfOptions& options() const { return options_; }
 
   /// The shortest-path tree rooted at `source`, computed on first use.
-  /// Thread-safe; the returned reference stays valid until clear() or
-  /// destruction. Throws PreconditionError (like spf::shortest_tree) when
-  /// `source` is failed or out of range — such a failed attempt is not
-  /// cached and a later call retries.
-  const ShortestPathTree& tree(graph::NodeId source);
+  /// Thread-safe; the returned pointer keeps the tree alive even if the
+  /// entry is evicted or cleared concurrently. Throws PreconditionError
+  /// (like spf::shortest_tree) when `source` is failed or out of range —
+  /// such a failed attempt is not cached and a later call retries.
+  std::shared_ptr<const ShortestPathTree> tree(graph::NodeId source);
 
   /// Cumulative counters across the cache's lifetime: a miss is a tree()
   /// call that ran SPF itself, a hit is one that found (or waited for) an
   /// existing tree.
   std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries dropped to respect max_entries.
+  std::size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Misses served by incremental repair / by its from-scratch fallback
+  /// (both zero for caches without a base).
+  std::size_t repairs() const {
+    return repairs_.load(std::memory_order_relaxed);
+  }
+  std::size_t repair_fallbacks() const {
+    return repair_fallbacks_.load(std::memory_order_relaxed);
+  }
 
-  /// Number of distinct sources requested so far (== cached trees, unless
-  /// some requests threw on a failed source).
+  /// Number of currently cached trees (bounded by max_entries when set).
   std::size_t size() const;
 
-  /// Drops every cached tree (counters are kept). NOT thread-safe against
-  /// concurrent tree() calls — only call from quiescent sections (e.g.
-  /// between batches).
+  /// Drops every cached tree (counters are kept). Safe against concurrent
+  /// tree() calls — outstanding shared_ptrs keep their trees alive — but
+  /// in-flight computations may repopulate the map immediately after.
   void clear();
 
  private:
   struct Entry {
     std::once_flag once;
-    std::unique_ptr<ShortestPathTree> tree;
+    std::shared_ptr<const ShortestPathTree> tree;
+    std::atomic<bool> ready{false};
+    std::atomic<std::uint64_t> last_used{0};
   };
+
+  std::shared_ptr<const ShortestPathTree> compute(graph::NodeId source);
+  void evict_over_cap();
 
   const graph::Graph& g_;
   graph::FailureMask mask_;
   SpfOptions options_;
+  TreeCacheOptions cache_options_;
+  TreeCache* base_ = nullptr;  // not owned; nullptr = from-scratch mode
+  IncrementalOptions incremental_;
 
   mutable std::mutex mu_;  // guards entries_ (map structure only)
-  std::unordered_map<graph::NodeId, std::unique_ptr<Entry>> entries_;
+  std::unordered_map<graph::NodeId, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> use_clock_{0};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> repairs_{0};
+  std::atomic<std::size_t> repair_fallbacks_{0};
 };
 
 }  // namespace rbpc::spf

@@ -1,0 +1,26 @@
+#include "spf/workspace.hpp"
+
+namespace rbpc::spf {
+
+void SpfWorkspace::begin(std::size_t n) {
+  if (nodes_.size() < n) {
+    nodes_.resize(n);
+    stamp_.resize(n, 0);
+  }
+  // Epoch 0 is reserved as "never used" for fresh stamps; a bump that wraps
+  // to 0 (practically unreachable with 64 bits) would alias old stamps, so
+  // skip it defensively.
+  if (++epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  heap_.clear();
+  scratch_nodes_.clear();
+}
+
+SpfWorkspace& thread_workspace() {
+  thread_local SpfWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace rbpc::spf

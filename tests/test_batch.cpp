@@ -386,9 +386,10 @@ TEST(TreeCacheProperty, AgreesWithApspOracleOnEveryDistance) {
             EXPECT_THROW(cache.tree(s), PreconditionError);
             continue;
           }
-          const spf::ShortestPathTree& tree = cache.tree(s);
+          const std::shared_ptr<const spf::ShortestPathTree> tree =
+              cache.tree(s);
           for (NodeId v = 0; v < g.num_nodes(); ++v) {
-            EXPECT_EQ(tree.dist(v), apsp.dist(s, v))
+            EXPECT_EQ(tree->dist(v), apsp.dist(s, v))
                 << "seed=" << seed << " s=" << s << " v=" << v;
           }
         }
@@ -409,12 +410,12 @@ TEST(TreeCacheProperty, DisconnectedSourceRegression) {
                        spf::SpfOptions{.metric = spf::Metric::Weighted,
                                        .padded = true});
   const spf::ApspMatrix apsp(g, mask, spf::Metric::Weighted);
-  const spf::ShortestPathTree& tree = cache.tree(0);
-  EXPECT_EQ(tree.dist(0), 0);
+  const std::shared_ptr<const spf::ShortestPathTree> tree = cache.tree(0);
+  EXPECT_EQ(tree->dist(0), 0);
   for (NodeId v = 1; v < g.num_nodes(); ++v) {
-    EXPECT_EQ(tree.dist(v), graph::kUnreachable);
-    EXPECT_EQ(tree.dist(v), apsp.dist(0, v));
-    EXPECT_FALSE(tree.reachable(v));
+    EXPECT_EQ(tree->dist(v), graph::kUnreachable);
+    EXPECT_EQ(tree->dist(v), apsp.dist(0, v));
+    EXPECT_FALSE(tree->reachable(v));
   }
 
   spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
@@ -461,15 +462,43 @@ TEST(TreeCacheProperty, ConcurrentRequestsComputeOncePerSource) {
   std::atomic<std::size_t> mismatches{0};
   pool.parallel_for(200, [&](std::size_t i) {
     const NodeId s = static_cast<NodeId>(i % 5);
-    const spf::ShortestPathTree& tree = cache.tree(s);
+    const std::shared_ptr<const spf::ShortestPathTree> tree = cache.tree(s);
     const NodeId v = static_cast<NodeId>(i % g.num_nodes());
-    if (tree.dist(v) != apsp.dist(s, v)) {
+    if (tree->dist(v) != apsp.dist(s, v)) {
       mismatches.fetch_add(1, std::memory_order_relaxed);
     }
   });
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(cache.misses(), 5u);  // exactly one SPF per distinct source
   EXPECT_EQ(cache.hits(), 195u);
+}
+
+TEST(TreeCacheProperty, BoundedCacheStaysCorrectUnderConcurrentEviction) {
+  // A capped cache under concurrent load keeps evicting and recomputing;
+  // every tree handed out must still be correct, and outstanding
+  // shared_ptrs must outlive their entries' eviction. Run under TSan in CI.
+  Rng rng(17);
+  const Graph g = topo::make_random_connected(20, 48, rng, 8);
+  spf::TreeCache cache(g, FailureMask{},
+                       spf::SpfOptions{.metric = spf::Metric::Weighted,
+                                       .padded = true},
+                       spf::TreeCacheOptions{.max_entries = 3});
+  const spf::ApspMatrix apsp(g, FailureMask::none(), spf::Metric::Weighted);
+  ThreadPool pool(8);
+  std::atomic<std::size_t> mismatches{0};
+  pool.parallel_for(400, [&](std::size_t i) {
+    const NodeId s = static_cast<NodeId>(i % 9);  // 9 sources, 3 slots
+    const std::shared_ptr<const spf::ShortestPathTree> tree = cache.tree(s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (tree->dist(v) != apsp.dist(s, v)) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(cache.size(), 3u);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 400u);
 }
 
 // ---------------------------------------------------------------------------
