@@ -20,9 +20,17 @@
 // --spf-json PATH is given — emits the results as machine-readable JSON
 // (CI archives it as BENCH_spf.json and fails the job on any divergence).
 //
+// Human-readable narration (tables, notes) goes to stderr; stdout carries
+// only machine-readable artifacts explicitly requested with "-" (e.g.
+// `--spf-json -` or `--metrics-json -`), so piping to jq never sees table
+// text interleaved with JSON.
+//
 // Flags: --seed N, --scale X (Table-1 sizes; default 0.1), --threads N,
 //        --pairs N (provisioned LSPs), --events N, --max-fails N,
-//        --spf-json PATH, --spf-trials N (failure trials per network)
+//        --spf-json PATH, --spf-trials N (failure trials per network),
+//        --metrics-json PATH, --trace-out PATH, --obs-check LIST
+//        (see bench_obs.hpp; PATH "-" means stdout)
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -30,12 +38,14 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_obs.hpp"
 #include "core/base_set.hpp"
 #include "core/batch.hpp"
 #include "core/restoration.hpp"
 #include "core/scenario.hpp"
 #include "spf/incremental.hpp"
 #include "spf/oracle.hpp"
+#include "spf/tree_cache.hpp"
 #include "spf/workspace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -218,12 +228,13 @@ int main(int argc, char** argv) {
   const std::size_t max_fails = args.get_uint("max-fails", 3);
   const std::string spf_json = args.get_string("spf-json", "");
   const std::size_t spf_trials = args.get_uint("spf-trials", 40);
+  const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
   if (max_fails == 0) {
     std::cerr << "batch_restore: --max-fails must be at least 1\n";
     return 1;
   }
 
-  std::cout << "Batch restoration: serial loop vs " << threads
+  std::cerr << "Batch restoration: serial loop vs " << threads
             << "-thread BatchRestorer (hardware threads: "
             << ThreadPool::default_threads() << ")\n\n";
 
@@ -280,13 +291,13 @@ int main(int argc, char** argv) {
                    TablePrinter::percent(batch.stats().spf_hit_rate()),
                    identical ? "yes" : "NO — BUG"});
   }
-  std::cout << table.to_text()
+  std::cerr << table.to_text()
             << "\nspeedup > 1 requires real hardware parallelism; the "
                "identical column must read 'yes' for every row regardless "
                "of thread count.\n";
 
   // Incremental repair vs from-scratch SPF under single-link failures.
-  std::cout << "\nIncremental SPT repair vs from-scratch Dijkstra "
+  std::cerr << "\nIncremental SPT repair vs from-scratch Dijkstra "
                "(single-edge failures, padded trees, " << spf_trials
             << " trials per network)\n\n";
   TablePrinter spf_table({"network", "nodes", "links", "scratch us/tree",
@@ -308,16 +319,42 @@ int main(int argc, char** argv) {
          row.identical ? "yes" : "NO — BUG"});
     spf_rows.push_back(std::move(row));
   }
-  std::cout << spf_table.to_text();
+  std::cerr << spf_table.to_text();
   if (!spf_json.empty()) {
-    std::ofstream out(spf_json);
-    out << spf_bench_json(spf_rows);
-    std::cout << "\nwrote " << spf_json << "\n";
+    if (spf_json == "-") {
+      std::cout << spf_bench_json(spf_rows);
+    } else {
+      std::ofstream out(spf_json);
+      out << spf_bench_json(spf_rows);
+      std::cerr << "\nwrote " << spf_json << "\n";
+    }
   }
+
+  // Eviction exercise: the batch engine's caches are unbounded, so a plain
+  // run never evicts. A tiny capped cache over the ISP topology queried for
+  // more sources than its cap guarantees cache.evict is nonzero in the
+  // metrics scrape (and exercises the LRU path in Release mode).
+  {
+    const auto nets = bench::make_networks(seed, scale);
+    const graph::Graph& g = nets.front().g;
+    spf::TreeCacheOptions capped;
+    capped.max_entries = 4;
+    spf::TreeCache small(g, FailureMask{},
+                         spf::SpfOptions{.metric = nets.front().metric},
+                         capped);
+    const std::size_t sources =
+        std::min<std::size_t>(g.num_nodes(), 3 * capped.max_entries);
+    for (graph::NodeId s = 0; s < sources; ++s) small.tree(s);
+    std::cerr << "\ncapped-cache exercise: " << sources << " sources, cap "
+              << capped.max_entries << ", evictions " << small.evictions()
+              << "\n";
+  }
+
+  const int obs_rc = obs_cli.finish();
   if (!spf_identical) {
     std::cerr << "batch_restore: incremental repair diverged from "
                  "from-scratch SPF\n";
     return 1;
   }
-  return 0;
+  return obs_rc;
 }

@@ -5,6 +5,7 @@
 // re-provisioning, and measure the substrate primitives.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/base_set.hpp"
@@ -12,6 +13,8 @@
 #include "core/decompose.hpp"
 #include "core/restoration.hpp"
 #include "graph/failure.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spf/bypass.hpp"
 #include "spf/incremental.hpp"
 #include "spf/oracle.hpp"
@@ -227,6 +230,70 @@ void BM_MinCostBypass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MinCostBypass);
+
+// --- Observability overhead ------------------------------------------------
+//
+// Quantify the cost of the instrumentation itself. The Disabled variants
+// compile to (nearly) nothing under RBPC_OBS_DISABLED; compare the two
+// builds to verify the kill switch:
+//
+//   cmake -B build-noobs -DRBPC_OBS_DISABLED=ON -DCMAKE_BUILD_TYPE=Release
+//   build-noobs/bench/micro_perf --benchmark_filter='Obs|Dijkstra'
+//
+// ObsCounterAdd / ObsHistogramRecord / ObsSpan measure the primitives in a
+// tight loop (worst case: nothing else between increments); DijkstraIsp
+// above doubles as the end-to-end check, since the SPF kernel flushes
+// counters and TreeCache/BatchRestorer wrap it in spans.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  static obs::Histogram hist =
+      obs::MetricsRegistry::global().histogram("bench.hist");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    hist.record(v++ & 0xfff);
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpan(benchmark::State& state) {
+  // Tracer disabled (the steady-state configuration): two clock reads plus
+  // one striped histogram record per span.
+  obs::Tracer::global().disable();
+  for (auto _ : state) {
+    RBPC_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpan);
+
+void BM_ObsSpanTraced(benchmark::State& state) {
+  // Tracer enabled: adds one short mutexed append to a per-thread buffer.
+  // clear() between i 0 and the cap keeps the buffer from saturating.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    RBPC_TRACE_SPAN("bench.span.traced");
+    if (++n == obs::Tracer::kMaxEventsPerThread / 2) {
+      state.PauseTiming();
+      tracer.clear();
+      n = 0;
+      state.ResumeTiming();
+    }
+  }
+  tracer.disable();
+  tracer.clear();
+}
+BENCHMARK(BM_ObsSpanTraced);
 
 }  // namespace
 

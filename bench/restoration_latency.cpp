@@ -12,9 +12,14 @@
 //   LDP re-signal  — source learns via the same flood, then must signal a
 //                    brand-new LSP end-to-end (request + mapping legs)
 //
-// Flags: --seed N, --samples N, --link-delay X, --process-delay X
+// Human-readable output goes to stderr; stdout carries only artifacts
+// explicitly requested with "-" (see bench_obs.hpp).
+//
+// Flags: --seed N, --samples N, --link-delay X, --process-delay X,
+//        --metrics-json PATH, --trace-out PATH, --obs-check LIST
 #include <iostream>
 
+#include "bench_obs.hpp"
 #include "core/scenario.hpp"
 #include "lsdb/lsdb.hpp"
 #include "mpls/ldp.hpp"
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::uint64_t seed = args.get_uint("seed", 1);
   const std::size_t samples = args.get_uint("samples", 150);
+  const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
 
   lsdb::FloodParams flood;
   flood.link_delay = args.get_double("link-delay", 1.0);
@@ -44,7 +50,7 @@ int main(int argc, char** argv) {
 
   Rng topo_rng(seed);
   const graph::Graph g = topo::make_isp_like(topo_rng, /*weighted=*/true);
-  std::cout << "topology: " << g.summary() << "\n"
+  std::cerr << "topology: " << g.summary() << "\n"
             << "delays: link=" << flood.link_delay
             << " process=" << flood.process_delay
             << " detect=" << flood.detect_delay << "\n\n";
@@ -98,13 +104,13 @@ int main(int argc, char** argv) {
   table.add_row({"LDP tear-down/re-signal", quant(ldp_lat, 0.5),
                  quant(ldp_lat, 0.9), quant(ldp_lat, 1.0),
                  "per-hop request+mapping", "yes"});
-  std::cout << table.to_text();
+  std::cerr << table.to_text();
 
-  std::cout << "\ncases=" << local_lat.count()
+  std::cerr << "\ncases=" << local_lat.count()
             << ". RBPC's source restoration completes as soon as the "
                "topology flood arrives;\nre-signalling adds two full "
                "end-to-end passes over the new path on top of the\nsame "
                "flood — and the hybrid hides even the flood behind the "
                "instant local splice.\n";
-  return 0;
+  return obs_cli.finish();
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/decompose.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::core {
@@ -12,12 +13,24 @@ using graph::FailureMask;
 using graph::NodeId;
 using graph::Path;
 
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
 BatchRestorer::BatchRestorer(BasePathSet& base, BatchOptions options)
     : base_(base),
       pool_(options.threads),
       unfailed_trees_(base.graph(), FailureMask{},
                       spf::SpfOptions{.metric = base.metric(),
-                                      .padded = true}) {}
+                                      .padded = true}),
+      batches_(registry().counter("batch.batches")),
+      jobs_(registry().counter("batch.jobs")),
+      restored_(registry().counter("batch.restored")),
+      unrestorable_(registry().counter("batch.unrestorable")),
+      mask_changes_(registry().counter("batch.mask_changes")),
+      max_pc_length_gauge_(registry().gauge("batch.max_pc_length")) {}
 
 void BatchRestorer::reset_cache_for(const FailureMask& mask) {
   std::vector<graph::EdgeId> edges = mask.failed_edges();
@@ -31,7 +44,7 @@ void BatchRestorer::reset_cache_for(const FailureMask& mask) {
     retired_misses_ += cache_->misses();
     retired_repairs_ += cache_->repairs();
     retired_fallbacks_ += cache_->repair_fallbacks();
-    ++stats_.mask_changes;
+    mask_changes_.inc();
   }
   cache_ = std::make_unique<spf::TreeCache>(
       base_.graph(), mask,
@@ -44,6 +57,7 @@ void BatchRestorer::reset_cache_for(const FailureMask& mask) {
 
 std::vector<Restoration> BatchRestorer::restore_all(
     const FailureMask& mask, const std::vector<RestoreJob>& jobs) {
+  RBPC_TRACE_SPAN("batch.restore_all");
   const graph::Graph& g = base_.graph();
   // Check preconditions up front, in job order, so the error surfaced for a
   // bad batch is the one the serial loop would have thrown first.
@@ -55,38 +69,75 @@ std::vector<Restoration> BatchRestorer::restore_all(
   }
   reset_cache_for(mask);
 
+  // Time from dispatch to a worker picking the job up — pool backlog, the
+  // phase the paper's recovery-effort accounting calls queueing delay.
+  static obs::Histogram queue_wait = registry().histogram("batch.queue_wait");
+  const std::uint64_t dispatched_ns = obs::now_ns();
+
   std::vector<Restoration> results(jobs.size());
   pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    if constexpr (obs::kObsEnabled) {
+      queue_wait.record((obs::now_ns() - dispatched_ns) / 1000);
+    }
+    RBPC_TRACE_SPAN("batch.job");
     const RestoreJob& job = jobs[i];
-    const std::shared_ptr<const spf::ShortestPathTree> tree =
-        cache_->tree(job.src);
+    std::shared_ptr<const spf::ShortestPathTree> tree;
+    {
+      // Shared-tree lookup; a miss runs (or repairs) SPF under the mask,
+      // so spf.full / spf.repair spans nest inside this one.
+      RBPC_TRACE_SPAN("batch.spf");
+      tree = cache_->tree(job.src);
+    }
     if (!tree->reachable(job.dst)) return;  // results[i] stays !restored()
     Restoration r;
-    r.backup = tree->path_to(g, job.dst);
+    {
+      // Materializing the backup route — the label stack the source will
+      // push, in MPLS terms.
+      RBPC_TRACE_SPAN("batch.stack_build");
+      r.backup = tree->path_to(g, job.dst);
+    }
     {
       // Membership oracles cache trees of the *unfailed* network and are
-      // not thread-safe; decomposition serializes here.
+      // not thread-safe; decomposition serializes here. The span covers
+      // lock wait + decompose, so contention on base_mu_ is visible in the
+      // trace as batch.decompose minus the nested decompose span.
+      RBPC_TRACE_SPAN("batch.decompose");
       std::lock_guard<std::mutex> lock(base_mu_);
       r.decomposition = greedy_decompose(base_, r.backup);
     }
     results[i] = std::move(r);
   });
 
-  ++stats_.batches;
-  stats_.jobs += jobs.size();
+  batches_.inc();
+  jobs_.add(jobs.size());
+  std::size_t max_pc = max_pc_length_.load(std::memory_order_relaxed);
   for (const Restoration& r : results) {
     if (r.restored()) {
-      ++stats_.restored;
-      stats_.max_pc_length = std::max(stats_.max_pc_length, r.pc_length());
+      restored_.inc();
+      max_pc = std::max(max_pc, r.pc_length());
     } else {
-      ++stats_.unrestorable;
+      unrestorable_.inc();
     }
   }
-  stats_.spf_cache_hits = retired_hits_ + cache_->hits();
-  stats_.spf_cache_misses = retired_misses_ + cache_->misses();
-  stats_.spf_repairs = retired_repairs_ + cache_->repairs();
-  stats_.spf_repair_fallbacks = retired_fallbacks_ + cache_->repair_fallbacks();
+  max_pc_length_.store(max_pc, std::memory_order_relaxed);
+  max_pc_length_gauge_.set_max(static_cast<std::int64_t>(max_pc));
   return results;
+}
+
+BatchStats BatchRestorer::stats() const {
+  BatchStats s;
+  s.batches = batches_.value();
+  s.jobs = jobs_.value();
+  s.restored = restored_.value();
+  s.unrestorable = unrestorable_.value();
+  s.max_pc_length = max_pc_length_.load(std::memory_order_relaxed);
+  s.mask_changes = mask_changes_.value();
+  s.spf_cache_hits = retired_hits_ + (cache_ ? cache_->hits() : 0);
+  s.spf_cache_misses = retired_misses_ + (cache_ ? cache_->misses() : 0);
+  s.spf_repairs = retired_repairs_ + (cache_ ? cache_->repairs() : 0);
+  s.spf_repair_fallbacks =
+      retired_fallbacks_ + (cache_ ? cache_->repair_fallbacks() : 0);
+  return s;
 }
 
 std::vector<std::size_t> affected_lsps(const graph::Graph& g,

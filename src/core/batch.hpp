@@ -30,6 +30,7 @@
 // decomposition serializes on warm unfailed-network caches.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include "core/base_set.hpp"
 #include "core/restoration.hpp"
 #include "graph/failure.hpp"
+#include "obs/metrics.hpp"
 #include "spf/tree_cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -58,7 +60,10 @@ struct BatchOptions {
   std::size_t threads = 1;
 };
 
-/// Cumulative counters across a BatchRestorer's lifetime.
+/// Point-in-time snapshot of a BatchRestorer's lifetime counters.
+/// Assembled by BatchRestorer::stats() from counters that are mirrored
+/// into the process-wide obs::MetricsRegistry (batch.* / cache.* metrics),
+/// so the struct is a thin view, not independent bookkeeping.
 struct BatchStats {
   std::size_t batches = 0;        ///< restore_all calls
   std::size_t jobs = 0;           ///< restorations attempted
@@ -100,7 +105,9 @@ class BatchRestorer {
   std::vector<Restoration> restore_all(const graph::FailureMask& mask,
                                        const std::vector<RestoreJob>& jobs);
 
-  const BatchStats& stats() const { return stats_; }
+  /// Snapshot of the lifetime counters; each call re-reads the live
+  /// counters, so the SPF fields reflect any trees computed since.
+  BatchStats stats() const;
 
  private:
   void reset_cache_for(const graph::FailureMask& mask);
@@ -121,7 +128,15 @@ class BatchRestorer {
   std::size_t retired_misses_ = 0;
   std::size_t retired_repairs_ = 0;
   std::size_t retired_fallbacks_ = 0;
-  BatchStats stats_;
+  // Lifetime counters, mirrored into the registry; stats() assembles the
+  // BatchStats view from these plus the cache counters above.
+  obs::InstanceCounter batches_;
+  obs::InstanceCounter jobs_;
+  obs::InstanceCounter restored_;
+  obs::InstanceCounter unrestorable_;
+  obs::InstanceCounter mask_changes_;
+  std::atomic<std::size_t> max_pc_length_{0};
+  obs::Gauge max_pc_length_gauge_;
 };
 
 /// Convenience for drivers: the indices of `lsps` whose path is broken by

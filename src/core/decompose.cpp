@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/trace.hpp"
 #include "spf/metric.hpp"
 #include "util/error.hpp"
 
@@ -29,6 +30,7 @@ Path Decomposition::joined() const {
 }
 
 Decomposition greedy_decompose(BasePathSet& base, const Path& route) {
+  RBPC_TRACE_SPAN("decompose");
   require(!route.empty(), "greedy_decompose: empty route");
   Decomposition out;
   const std::size_t last = route.num_nodes() - 1;
@@ -72,12 +74,20 @@ Decomposition greedy_decompose(BasePathSet& base, const Path& route) {
       pos = best;
     }
   }
+  if constexpr (obs::kObsEnabled) {
+    // Concatenation length — the paper's figure of merit (pieces per
+    // restored route).
+    static obs::Histogram pieces =
+        obs::MetricsRegistry::global().histogram("decompose.pieces");
+    pieces.record(out.pieces.size());
+  }
   return out;
 }
 
 Decomposition overlay_decompose(BasePathSet& base,
                                 const graph::FailureMask& mask, NodeId s,
                                 NodeId t) {
+  RBPC_TRACE_SPAN("decompose.overlay");
   const graph::Graph& g = base.graph();
   require(s < g.num_nodes() && t < g.num_nodes(),
           "overlay_decompose: node out of range");

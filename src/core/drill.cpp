@@ -5,6 +5,7 @@
 
 #include "core/batch.hpp"
 #include "core/restoration.hpp"
+#include "obs/metrics.hpp"
 #include "spf/spf.hpp"
 #include "util/error.hpp"
 
@@ -166,6 +167,19 @@ DrillReport run_failure_drill(const graph::Graph& g, spf::Metric metric,
     }
 
     if (batch) batch_cross_check(step);
+  }
+  if constexpr (obs::kObsEnabled) {
+    // One flush per drill: the drill is a test harness, so per-step striped
+    // adds would only add noise to the metrics it is checking.
+    static obs::Counter events =
+        obs::MetricsRegistry::global().counter("drill.events");
+    static obs::Counter probes =
+        obs::MetricsRegistry::global().counter("drill.probes");
+    static obs::Counter violations =
+        obs::MetricsRegistry::global().counter("drill.violations");
+    events.add(report.events);
+    probes.add(report.probes);
+    violations.add(report.violations.size());
   }
   return report;
 }

@@ -1,5 +1,6 @@
 #include "core/restoration.hpp"
 
+#include "obs/trace.hpp"
 #include "spf/bypass.hpp"
 #include "spf/spf.hpp"
 #include "util/error.hpp"
@@ -13,14 +14,23 @@ using graph::Path;
 
 Restoration source_rbpc_restore(BasePathSet& base, NodeId s, NodeId t,
                                 const FailureMask& mask) {
+  RBPC_TRACE_SPAN("restore.source");
+  static obs::Counter restored =
+      obs::MetricsRegistry::global().counter("restore.source.restored");
+  static obs::Counter unrestorable =
+      obs::MetricsRegistry::global().counter("restore.source.unrestorable");
   Restoration out;
   // Canonical (padded) route so the result is deterministic and, with a
   // canonical base set, maximally decomposable.
   out.backup = spf::shortest_path(
       base.graph(), s, t, mask,
       spf::SpfOptions{.metric = base.metric(), .padded = true});
-  if (out.backup.empty()) return out;
+  if (out.backup.empty()) {
+    unrestorable.inc();
+    return out;
+  }
   out.decomposition = greedy_decompose(base, out.backup);
+  restored.inc();
   return out;
 }
 

@@ -1,0 +1,103 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace rbpc::obs {
+
+/// Per-thread event buffer. Lives in a thread_local; registers itself with
+/// the tracer on construction and folds its events into the tracer's
+/// retired list on thread exit, so no event is lost when worker threads
+/// (e.g. a ThreadPool being destroyed) finish before export. The per-buffer
+/// mutex is only ever contended by an export/clear racing this thread's
+/// record() — steady-state appends lock an uncontended mutex.
+struct ThreadTraceBuffer {
+  explicit ThreadTraceBuffer(Tracer& owner) : owner(owner) {
+    std::lock_guard<std::mutex> lock(owner.mu_);
+    tid = owner.next_tid_++;
+    owner.buffers_.push_back(this);
+  }
+
+  ~ThreadTraceBuffer() {
+    std::lock_guard<std::mutex> lock(owner.mu_);
+    {
+      std::lock_guard<std::mutex> buf_lock(mu);
+      owner.retired_.insert(owner.retired_.end(), events.begin(),
+                            events.end());
+    }
+    owner.buffers_.erase(
+        std::find(owner.buffers_.begin(), owner.buffers_.end(), this));
+  }
+
+  void append(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() >= Tracer::kMaxEventsPerThread) {
+      owner.dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+  }
+
+  Tracer& owner;
+  std::uint32_t tid = 0;
+  std::mutex mu;  // guards events against concurrent export/clear
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(const char* name, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns) {
+  thread_local ThreadTraceBuffer buffer(global());
+  buffer.append(name, ts_ns, dur_ns);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out = retired_;
+  for (ThreadTraceBuffer* buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+  for (ThreadTraceBuffer* buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<TraceEvent> evs = events();
+  // Stable display order: by start time, then thread.
+  std::sort(evs.begin(), evs.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    return std::tie(a.ts_ns, a.tid) < std::tie(b.ts_ns, b.tid);
+  });
+  std::uint64_t t0 = evs.empty() ? 0 : evs.front().ts_ns;
+
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << e.name
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << static_cast<double>(e.ts_ns - t0) / 1000.0
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+  }
+  os << (evs.empty() ? "" : "\n") << "]\n";
+  return os.str();
+}
+
+}  // namespace rbpc::obs

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::spf {
@@ -38,6 +39,27 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
           "repair_tree: base tree does not match the graph");
 
   const auto finish = [&](RepairKind kind, std::size_t orphaned) {
+    if constexpr (obs::kObsEnabled) {
+      // Repair outcome mix (identity : local repair : full fallback) and
+      // orphan-region sizes — the fallback-to-full rate and the paper's
+      // damage-proportionality claim in two metrics.
+      static obs::Counter identities =
+          obs::MetricsRegistry::global().counter("repair.identity");
+      static obs::Counter locals =
+          obs::MetricsRegistry::global().counter("repair.local");
+      static obs::Counter fallbacks =
+          obs::MetricsRegistry::global().counter("repair.scratch_fallback");
+      static obs::Histogram orphan_sizes =
+          obs::MetricsRegistry::global().histogram("spf.repair.orphaned");
+      switch (kind) {
+        case RepairKind::kIdentity: identities.inc(); break;
+        case RepairKind::kRepaired:
+          locals.inc();
+          orphan_sizes.record(orphaned);
+          break;
+        case RepairKind::kScratch: fallbacks.inc(); break;
+      }
+    }
     if (report != nullptr) {
       report->kind = kind;
       report->orphaned = orphaned;
@@ -119,8 +141,12 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
   // equal-key parent ties resolve by (key(u), u, edge) — the same winner a
   // from-scratch run's first-achieving relaxation picks (see the header).
   FourAryHeap& heap = ws.heap();
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t relax_attempts = 0;
   const auto relax = [&](NodeId to, EdgeId e, NodeId from, Weight from_key,
                          Weight from_dist, std::uint32_t from_hops) {
+    ++relax_attempts;
     const Weight step = options.padded
                             ? padded_weight(g, e, options.metric)
                             : metric_weight(g, e, options.metric);
@@ -140,7 +166,10 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     nt.parent = from;
     nt.parent_edge = e;
     nt.parent_key = from_key;
-    if (improved) heap.push(alt, to);
+    if (improved) {
+      heap.push(alt, to);
+      ++pushes;
+    }
   };
 
   // Seed with every surviving offer from the intact part of the tree into
@@ -160,6 +189,7 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
   // reset (unreachable), exactly as a from-scratch run leaves them.
   while (!heap.empty()) {
     const auto [k, v] = heap.pop();
+    ++pops;
     SpfWorkspace::Node& nv = ws.node(v);
     if (nv.settled || k != nv.key) continue;  // stale entry
     nv.settled = true;
@@ -171,6 +201,19 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     }
   }
 
+  if constexpr (obs::kObsEnabled) {
+    // One flush per repair, not per heap op: the loop above pays a plain
+    // register increment, the shared counters one striped add each.
+    static obs::Counter heap_pushes =
+        obs::MetricsRegistry::global().counter("spf.heap.pushes");
+    static obs::Counter heap_pops =
+        obs::MetricsRegistry::global().counter("spf.heap.pops");
+    static obs::Counter relaxations =
+        obs::MetricsRegistry::global().counter("spf.relaxations");
+    heap_pushes.add(pushes);
+    heap_pops.add(pops);
+    relaxations.add(relax_attempts);
+  }
   finish(RepairKind::kRepaired, region.size());
   return out;
 }

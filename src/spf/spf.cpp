@@ -1,9 +1,11 @@
 #include "spf/spf.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "spf/workspace.hpp"
 #include "util/error.hpp"
 
@@ -17,6 +19,32 @@ using graph::Graph;
 using graph::NodeId;
 using graph::Weight;
 
+/// Flushes one SPF run's locally accumulated kernel counts into the
+/// process-wide registry — a handful of striped adds per run instead of
+/// one per heap operation, so the kernels stay allocation- and
+/// contention-free. Compiled out entirely under RBPC_OBS_DISABLED.
+void flush_kernel_counts(std::uint64_t pushes, std::uint64_t pops,
+                         std::uint64_t relax_attempts) {
+  if constexpr (obs::kObsEnabled) {
+    static obs::Counter runs =
+        obs::MetricsRegistry::global().counter("spf.runs");
+    static obs::Counter heap_pushes =
+        obs::MetricsRegistry::global().counter("spf.heap.pushes");
+    static obs::Counter heap_pops =
+        obs::MetricsRegistry::global().counter("spf.heap.pops");
+    static obs::Counter relaxations =
+        obs::MetricsRegistry::global().counter("spf.relaxations");
+    runs.add(1);
+    heap_pushes.add(pushes);
+    heap_pops.add(pops);
+    relaxations.add(relax_attempts);
+  } else {
+    (void)pushes;
+    (void)pops;
+    (void)relax_attempts;
+  }
+}
+
 /// BFS for the hop metric (no padding): linear time, deterministic because
 /// adjacency lists are sorted. The workspace provides the FIFO queue;
 /// reachability doubles as the visited set, so no per-node scratch is
@@ -28,17 +56,22 @@ ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask
   ws.begin(g.num_nodes());
   std::vector<NodeId>& queue = ws.scratch_nodes();
   queue.push_back(source);
+  std::uint64_t relax_attempts = 0;
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const NodeId v = queue[head];
     if (v == options.stop_at) break;
     const Weight d = tree.dist(v);
     for (const graph::Arc& a : g.arcs(v)) {
+      ++relax_attempts;
       if (!mask.edge_alive(g, a.edge) || tree.reachable(a.to)) continue;
       tree.settle(a.to, d + 1, d + 1, static_cast<std::uint32_t>(d + 1), v,
                   a.edge);
       queue.push_back(a.to);
     }
   }
+  // The BFS queue stands in for the heap: a push is an enqueue, a pop a
+  // dequeue (queue.size() of each).
+  flush_kernel_counts(queue.size(), queue.size(), relax_attempts);
   return tree;
 }
 
@@ -60,9 +93,13 @@ ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
     src.dist = 0;
   }
   heap.push(0, source);
+  std::uint64_t pushes = 1;
+  std::uint64_t pops = 0;
+  std::uint64_t relax_attempts = 0;
 
   while (!heap.empty()) {
     const auto [k, v] = heap.pop();
+    ++pops;
     SpfWorkspace::Node& nv = ws.node(v);
     if (nv.settled || k != nv.key) continue;  // stale entry
     nv.settled = true;
@@ -70,6 +107,7 @@ ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
     if (v == options.stop_at) break;
     for (const graph::Arc& a : g.arcs(v)) {
       if (!mask.edge_alive(g, a.edge)) continue;
+      ++relax_attempts;
       SpfWorkspace::Node& nt = ws.node(a.to);
       if (nt.settled) continue;
       const Weight step = options.padded
@@ -83,9 +121,11 @@ ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
         nt.parent = v;
         nt.parent_edge = a.edge;
         heap.push(alt, a.to);
+        ++pushes;
       }
     }
   }
+  flush_kernel_counts(pushes, pops, relax_attempts);
   return tree;
 }
 

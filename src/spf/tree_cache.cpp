@@ -2,9 +2,16 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::spf {
+
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
 
 TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
                      SpfOptions options, TreeCacheOptions cache_options)
@@ -18,7 +25,13 @@ TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
       options_(options),
       cache_options_(cache_options),
       base_(base),
-      incremental_(incremental) {
+      incremental_(incremental),
+      hits_(registry().counter("cache.hit")),
+      scratch_(registry().counter("cache.scratch")),
+      repairs_(registry().counter("cache.repair")),
+      repair_fallbacks_(registry().counter("cache.repair_fallback")),
+      evictions_(registry().counter("cache.evict")),
+      miss_total_(registry().counter("cache.miss")) {
   require(options_.stop_at == graph::kInvalidNode,
           "TreeCache: cached trees must be full runs (no stop_at)");
   if (base_ != nullptr) {
@@ -38,18 +51,25 @@ std::shared_ptr<const ShortestPathTree> TreeCache::compute(
     const std::shared_ptr<const ShortestPathTree> base_tree =
         base_->tree(source);
     RepairReport report;
-    auto tree = std::make_shared<ShortestPathTree>(
-        repair_tree(g_, *base_tree, mask_, options_, thread_workspace(),
-                    incremental_, &report));
+    std::shared_ptr<const ShortestPathTree> tree;
+    {
+      RBPC_TRACE_SPAN("spf.repair");
+      tree = std::make_shared<ShortestPathTree>(
+          repair_tree(g_, *base_tree, mask_, options_, thread_workspace(),
+                      incremental_, &report));
+    }
     if (report.kind == RepairKind::kScratch) {
-      repair_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      repair_fallbacks_.inc();
     } else {
-      repairs_.fetch_add(1, std::memory_order_relaxed);
+      repairs_.inc();
     }
     return tree;
   }
-  return std::make_shared<ShortestPathTree>(
+  RBPC_TRACE_SPAN("spf.full");
+  auto tree = std::make_shared<ShortestPathTree>(
       shortest_tree(g_, source, mask_, options_));
+  scratch_.inc();
+  return tree;
 }
 
 std::shared_ptr<const ShortestPathTree> TreeCache::tree(
@@ -75,10 +95,13 @@ std::shared_ptr<const ShortestPathTree> TreeCache::tree(
     computed = true;
   });
   if (computed) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    // The compute() branch already counted which kind of SPF ran (scratch
+    // / repair / fallback — disjoint, misses() derives their sum); this is
+    // only the registry-side aggregate.
+    miss_total_.add(1);
     if (cache_options_.max_entries != 0) evict_over_cap();
   } else {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.inc();
   }
   return entry->tree;
 }
@@ -103,7 +126,7 @@ void TreeCache::evict_over_cap() {
     }
     if (victim == entries_.end()) break;  // everything in flight
     entries_.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.inc();
   }
 }
 

@@ -35,6 +35,7 @@
 
 #include "graph/failure.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "spf/incremental.hpp"
 #include "spf/spf.hpp"
 #include "spf/tree.hpp"
@@ -78,21 +79,22 @@ class TreeCache {
 
   /// Cumulative counters across the cache's lifetime: a miss is a tree()
   /// call that ran SPF itself, a hit is one that found (or waited for) an
-  /// existing tree.
-  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  /// Entries dropped to respect max_entries.
-  std::size_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
+  /// existing tree. The accessors are thin views over counters that also
+  /// feed the process-wide obs::MetricsRegistry (cache.hit / cache.miss /
+  /// cache.evict / cache.repair / cache.repair_fallback / cache.scratch),
+  /// and misses() is *derived* as scratch + repairs + fallbacks — the three
+  /// ways a tree() call can run SPF are counted disjointly, so a repair can
+  /// never double-count against an independently maintained miss total.
+  std::size_t hits() const { return hits_.value(); }
+  std::size_t misses() const {
+    return scratch_.value() + repairs_.value() + repair_fallbacks_.value();
   }
+  /// Entries dropped to respect max_entries.
+  std::size_t evictions() const { return evictions_.value(); }
   /// Misses served by incremental repair / by its from-scratch fallback
   /// (both zero for caches without a base).
-  std::size_t repairs() const {
-    return repairs_.load(std::memory_order_relaxed);
-  }
-  std::size_t repair_fallbacks() const {
-    return repair_fallbacks_.load(std::memory_order_relaxed);
-  }
+  std::size_t repairs() const { return repairs_.value(); }
+  std::size_t repair_fallbacks() const { return repair_fallbacks_.value(); }
 
   /// Number of currently cached trees (bounded by max_entries when set).
   std::size_t size() const;
@@ -123,11 +125,16 @@ class TreeCache {
   mutable std::mutex mu_;  // guards entries_ (map structure only)
   std::unordered_map<graph::NodeId, std::shared_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> use_clock_{0};
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
-  std::atomic<std::size_t> evictions_{0};
-  std::atomic<std::size_t> repairs_{0};
-  std::atomic<std::size_t> repair_fallbacks_{0};
+  // Per-instance counters mirrored into the process-wide registry (see the
+  // accessor docs). scratch/repairs/fallbacks partition the misses.
+  obs::InstanceCounter hits_;
+  obs::InstanceCounter scratch_;
+  obs::InstanceCounter repairs_;
+  obs::InstanceCounter repair_fallbacks_;
+  obs::InstanceCounter evictions_;
+  // Registry-only aggregate so scrapes see a ready-made cache.miss total
+  // (per-instance misses() derives it instead).
+  obs::Counter miss_total_;
 };
 
 }  // namespace rbpc::spf

@@ -77,4 +77,42 @@ std::string BinnedHistogram::bin_label(std::size_t i) const {
   return buf;
 }
 
+void LatencyHistogram::record(std::uint64_t value, std::uint64_t weight) {
+  add_bucket(bucket_of(value), weight, value * weight);
+}
+
+void LatencyHistogram::add_bucket(std::size_t bucket, std::uint64_t count,
+                                  std::uint64_t total) {
+  require(bucket < kBuckets, "LatencyHistogram::add_bucket: bucket out of range");
+  counts_[bucket] += count;
+  count_ += count;
+  sum_ += total;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean() const {
+  require(!empty(), "LatencyHistogram::mean on empty histogram");
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  require(!empty(), "LatencyHistogram::quantile on empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the smallest rank r in [1, count_] with r >= q * count_.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_hi(i);
+  }
+  return bucket_hi(kBuckets - 1);  // unreachable; defensive
+}
+
 }  // namespace rbpc

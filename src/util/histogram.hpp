@@ -1,8 +1,10 @@
 // Histograms for the distribution tables/figures of the paper
 // (Table 3's bypass-hopcount distribution and Figure 10's stretch-factor
-// histograms).
+// histograms), plus the fixed-bucket latency histogram used by the
+// observability layer (src/obs).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -59,6 +61,67 @@ class BinnedHistogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+};
+
+/// Fixed-bucket histogram over unsigned values with power-of-two buckets:
+/// bucket 0 holds the value 0, bucket i >= 1 holds [2^(i-1), 2^i). Values
+/// past the last bucket's range clamp into it. The fixed layout makes two
+/// histograms mergeable bucket-by-bucket (like StatAccumulator::merge),
+/// which is how obs::MetricsRegistry combines its per-thread shards at
+/// scrape time. Quantiles are extracted by nearest rank over the buckets
+/// and reported as the containing bucket's inclusive upper bound, so the
+/// reported value is an upper estimate within a factor of two of the true
+/// quantile — the right precision for latency phases spanning nanoseconds
+/// to seconds.
+///
+/// The canonical unit on the restoration pipeline is microseconds (span
+/// durations), but the class is unit-agnostic: spf.repair.orphaned, for
+/// example, records node counts.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index that `value` falls into.
+  static std::size_t bucket_of(std::uint64_t value) {
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Inclusive upper bound of bucket `i` (the last bucket is unbounded and
+  /// reports the maximum representable value).
+  static std::uint64_t bucket_hi(std::size_t i) {
+    if (i == 0) return 0;
+    if (i + 1 >= kBuckets) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t value, std::uint64_t weight = 1);
+  /// Scrape-merge primitive: adds `count` observations into bucket `bucket`
+  /// whose values sum to `total`. Used by obs::MetricsRegistry to fold its
+  /// sharded atomic buckets into one snapshot.
+  void add_bucket(std::size_t bucket, std::uint64_t count,
+                  std::uint64_t total);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Sum of all recorded values (exact, not bucket-quantized).
+  std::uint64_t sum() const { return sum_; }
+  /// Mean of the recorded values. Precondition: !empty().
+  double mean() const;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+  /// Nearest-rank quantile, q in [0, 1], reported as the containing
+  /// bucket's upper bound. Precondition: !empty().
+  std::uint64_t quantile(double q) const;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
 };
 
 }  // namespace rbpc

@@ -347,5 +347,90 @@ TEST(CliArgs, DoubleAndBoolParsing) {
   EXPECT_THROW(args.get_bool("x", false), InputError);
 }
 
+// --- LatencyHistogram --------------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_lo(i)), i);
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_hi(i)), i);
+  }
+}
+
+TEST(LatencyHistogram, RecordCountSumMean) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.mean(), PreconditionError);
+  h.record(10);
+  h.record(20, 2);  // weight 2
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 50u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.0 / 3.0);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::bucket_of(10)), 1u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::bucket_of(20)), 2u);
+}
+
+TEST(LatencyHistogram, QuantileNearestRank) {
+  LatencyHistogram h;
+  EXPECT_THROW(h.quantile(0.5), PreconditionError);
+  for (int i = 0; i < 90; ++i) h.record(10);   // bucket [8, 15]
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket [512, 1023]
+  // Quantiles are reported as the containing bucket's upper bound.
+  EXPECT_EQ(h.quantile(0.0), 15u);
+  EXPECT_EQ(h.quantile(0.5), 15u);
+  EXPECT_EQ(h.quantile(0.9), 15u);
+  EXPECT_EQ(h.quantile(0.91), 1023u);
+  EXPECT_EQ(h.quantile(1.0), 1023u);
+}
+
+TEST(LatencyHistogram, MergeMatchesSequential) {
+  LatencyHistogram a, b, all;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.below(100000);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i));
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q));
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyAndAddBucket) {
+  LatencyHistogram a;
+  a.record(42);
+  LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.sum(), 42u);
+
+  // add_bucket is the scrape primitive: counts land in the given bucket,
+  // the sum is carried exactly.
+  LatencyHistogram s;
+  s.add_bucket(LatencyHistogram::bucket_of(42), 3, 126);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.sum(), 126u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_THROW(s.add_bucket(LatencyHistogram::kBuckets, 1, 0),
+               PreconditionError);
+}
+
 }  // namespace
 }  // namespace rbpc
