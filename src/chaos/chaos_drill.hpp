@@ -1,0 +1,127 @@
+// Chaos drill: a convergence drill under a fault-injected control plane.
+//
+// The classic failure drill (core/drill) assumes the control plane learns
+// of every topology change instantly and perfectly; its invariant —
+// delivered iff connected, along a min-cost route — holds after every
+// event. The chaos drill drops that assumption. Topology transitions
+// (including link flaps) are announced through a perturbed LSA flood
+// (chaos_flood + FaultPlan): announcements arrive late, duplicated,
+// reordered, or not at all until the periodic refresh. The controller
+// therefore operates on a *stale view* while the data plane enforces the
+// *ground truth* — the drill keeps the two separate and re-asserts the
+// truth into the network after every control-plane call (controllers
+// overwrite the network mask with their own view).
+//
+// Two invariant regimes follow:
+//
+//  * During churn (view may lag truth), correctness means graceful
+//    degradation, not optimality: no crash, no packet delivered off a loop
+//    (every loop is TTL-guarded, detected and counted), no delivery across
+//    a truth-dead element, and LSA staleness stays bounded by the refresh
+//    machinery. Probes that drop while the truth says the pair is connected
+//    are retried with exponential backoff in sim time — the stale window
+//    closes as LSAs land.
+//
+//  * Post quiescence (all transitions done, event queue drained), the view
+//    has converged to the truth — generation-numbered LSAs plus periodic
+//    refresh guarantee it whenever the vantage is not permanently
+//    partitioned from the changed links — and the classic exact invariant
+//    is re-asserted: delivered iff connected under the truth, at min cost.
+//
+// Determinism: identical (graph, config, seed) produce identical reports
+// including the event trace — the FaultPlan is keyed-hash driven and the
+// EventQueue breaks ties by scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "core/drill.hpp"
+#include "graph/graph.hpp"
+#include "lsdb/lsdb.hpp"
+#include "spf/metric.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::chaos {
+
+struct ChaosDrillConfig {
+  FaultSpec faults;
+  lsdb::FloodParams flood;
+
+  std::size_t events = 20;            ///< fail/recover transitions to drive
+  lsdb::SimTime event_spacing = 5.0;  ///< sim time between transitions
+  std::size_t max_concurrent = 3;     ///< cap on simultaneously failed links
+  double recover_bias = 0.4;          ///< chance to recover (when possible)
+
+  std::size_t probes_per_event = 10;  ///< during-churn probes per transition
+  std::size_t quiesce_probes = 50;    ///< post-quiescence probes
+
+  std::size_t max_retries = 3;        ///< per-probe retransmissions
+  lsdb::SimTime retry_backoff = 0.5;  ///< first retry delay (doubles)
+
+  /// Router hosting the centralized control plane; LSAs must reach it.
+  graph::NodeId vantage = 0;
+
+  /// Demand min-cost routes post quiescence. Disable when the drill also
+  /// exercises local patching, which legitimately stretches routes.
+  bool check_optimality = true;
+
+  /// During-churn bound on LSA staleness (transition -> applied at the
+  /// vantage). 0 = auto: a generous refresh-based bound that still catches
+  /// runaway redelivery loops.
+  lsdb::SimTime staleness_bound = 0.0;
+};
+
+struct ChaosReport {
+  // --- volume ---------------------------------------------------------------
+  std::size_t events = 0;       ///< planned fail/recover events
+  std::size_t transitions = 0;  ///< actual edge state changes (incl. flaps)
+  std::size_t probes = 0;       ///< during-churn probe injections (w/ retries)
+  std::size_t quiesce_probes = 0;
+
+  // --- during-churn outcomes ------------------------------------------------
+  std::size_t delivered = 0;
+  std::size_t delivered_after_retry = 0;
+  std::size_t retries = 0;
+  std::size_t gave_up = 0;  ///< truth-connected probes dead even after retries
+  std::size_t loops = 0;    ///< TTL-guarded forwarding loops observed
+
+  // --- control-plane accounting ---------------------------------------------
+  std::size_t lsa_applied = 0;    ///< LSAs the vantage applied
+  std::size_t lsa_lost = 0;       ///< primary deliveries lost
+  std::size_t lsa_missed = 0;     ///< transitions with missed detection
+  std::size_t lsa_cancelled = 0;  ///< queued deliveries cancelled as superseded
+  std::size_t lsa_duplicates = 0; ///< duplicate deliveries discarded
+  std::size_t lsa_stale = 0;      ///< reordered-older deliveries discarded
+  std::size_t refresh_epochs = 0;
+  lsdb::SimTime max_staleness = 0.0;
+
+  /// True when some changed link's final LSA could never reach the vantage
+  /// (control-plane partition); the strict post-quiescence invariants are
+  /// skipped, the degradation invariants still checked.
+  bool partitioned = false;
+
+  /// Invariants violated while the view could lag the truth (empty = pass).
+  std::vector<std::string> during_violations;
+  /// Invariants violated after convergence (empty = pass).
+  std::vector<std::string> post_violations;
+
+  /// Deterministic human-readable event trace; identical seeds must yield
+  /// identical traces.
+  std::vector<std::string> trace;
+
+  bool ok() const {
+    return during_violations.empty() && post_violations.empty();
+  }
+};
+
+/// Runs the chaos drill over `actions` (see core/drill.hpp; the
+/// set_data_failures hook is required here). Reports violations instead of
+/// throwing so tests can print them all.
+ChaosReport run_chaos_drill(const graph::Graph& g, spf::Metric metric,
+                            const core::DrillActions& actions,
+                            const ChaosDrillConfig& config, Rng& rng);
+
+}  // namespace rbpc::chaos

@@ -1,0 +1,50 @@
+#include "chaos/chaos_flood.hpp"
+
+#include <limits>
+
+namespace rbpc::chaos {
+
+ChaosLsaOutcome chaos_vantage_delivery(const graph::Graph& g,
+                                       const graph::FailureMask& mask_after,
+                                       graph::EdgeId e, std::uint64_t gen,
+                                       lsdb::SimTime t0, graph::NodeId vantage,
+                                       const FaultPlan& plan,
+                                       const lsdb::FloodParams& params) {
+  ChaosLsaOutcome out;
+
+  const DetectFate detect = plan.detect_fate(e, gen);
+  if (detect.missed) {
+    out.detection_missed = true;
+    return out;
+  }
+
+  const lsdb::FloodOutcome flood = lsdb::flood_notification_times(
+      g, mask_after, e, t0 + detect.latency, params);
+  const lsdb::SimTime baseline = flood.notified_at[vantage];
+  if (baseline == std::numeric_limits<lsdb::SimTime>::infinity()) {
+    out.unreachable = true;
+    return out;
+  }
+
+  const LsaFate fate = plan.lsa_fate(e, gen, vantage);
+  out.primary_lost = fate.lost;
+  if (!fate.lost) {
+    out.deliveries.push_back({baseline + fate.extra_delay, false});
+  }
+  if (fate.duplicated) {
+    out.deliveries.push_back({baseline + fate.duplicate_delay, true});
+  }
+  return out;
+}
+
+lsdb::SimTime reliable_vantage_delivery(const graph::Graph& g,
+                                        const graph::FailureMask& mask_after,
+                                        graph::EdgeId e, lsdb::SimTime t0,
+                                        graph::NodeId vantage,
+                                        const lsdb::FloodParams& params) {
+  const lsdb::FloodOutcome flood =
+      lsdb::flood_notification_times(g, mask_after, e, t0, params);
+  return flood.notified_at[vantage];
+}
+
+}  // namespace rbpc::chaos

@@ -1,0 +1,61 @@
+// Fault-injected LSA delivery: the lsdb flood model perturbed by a
+// FaultPlan.
+//
+// The unperturbed flood (lsdb::flood_notification_times) answers "when
+// would router v apply this LSA over surviving links?". This layer applies
+// the FaultPlan on top: detection latency or outright missed detection at
+// the endpoints, per-router loss, delivery jitter, and duplication. Lost
+// and missed LSAs are NOT silently repaired here — the chaos drill's
+// periodic refresh re-floods them, which is exactly how real link-state
+// protocols bound staleness.
+#pragma once
+
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "lsdb/lsdb.hpp"
+
+namespace rbpc::chaos {
+
+/// One perturbed arrival of an LSA at the vantage router.
+struct ChaosDelivery {
+  lsdb::SimTime at = 0.0;
+  bool duplicate = false;  ///< a duplicated copy (same generation)
+};
+
+/// The perturbed fate of one LSA generation en route to the vantage.
+struct ChaosLsaOutcome {
+  /// Arrivals in schedule order (primary first when it survives). Empty
+  /// when detection was missed, the primary was lost without a duplicate,
+  /// or the vantage is unreachable from both endpoints.
+  std::vector<ChaosDelivery> deliveries;
+  bool detection_missed = false;
+  bool primary_lost = false;
+  /// True when the flood cannot reach the vantage at all under mask_after
+  /// (control-plane partition); refresh retries until it can.
+  bool unreachable = false;
+};
+
+/// Computes the vantage router's perturbed arrivals for generation `gen` of
+/// edge `e`, flooding from the endpoints at `t0` over links surviving
+/// `mask_after`. Deterministic in (plan seed, e, gen, vantage).
+ChaosLsaOutcome chaos_vantage_delivery(const graph::Graph& g,
+                                       const graph::FailureMask& mask_after,
+                                       graph::EdgeId e, std::uint64_t gen,
+                                       lsdb::SimTime t0, graph::NodeId vantage,
+                                       const FaultPlan& plan,
+                                       const lsdb::FloodParams& params);
+
+/// Like chaos_vantage_delivery, but reliable: no loss, no duplication, no
+/// detection fate — used by the refresh path, which models the protocol's
+/// retransmission machinery. Returns the unperturbed arrival time, or
+/// +infinity when the vantage is unreachable under mask_after.
+lsdb::SimTime reliable_vantage_delivery(const graph::Graph& g,
+                                        const graph::FailureMask& mask_after,
+                                        graph::EdgeId e, lsdb::SimTime t0,
+                                        graph::NodeId vantage,
+                                        const lsdb::FloodParams& params);
+
+}  // namespace rbpc::chaos

@@ -1,0 +1,43 @@
+#include "chaos/fault_plan.hpp"
+
+namespace rbpc::chaos {
+
+Rng FaultPlan::keyed(std::uint64_t kind, std::uint64_t a,
+                     std::uint64_t b) const {
+  // splitmix64 between xors so that (a, b) and (a ^ x, b ^ x) do not
+  // collide; the final draw seeds an independent xoshiro stream.
+  std::uint64_t s = seed_ ^ (kind * 0x9E3779B97F4A7C15ull);
+  splitmix64(s);
+  s ^= a;
+  splitmix64(s);
+  s ^= b;
+  return Rng(splitmix64(s));
+}
+
+LsaFate FaultPlan::lsa_fate(graph::EdgeId e, std::uint64_t gen,
+                            graph::NodeId router) const {
+  Rng rng = keyed(1, (static_cast<std::uint64_t>(e) << 24) ^ gen, router);
+  LsaFate fate;
+  fate.lost = rng.chance(spec_.lsa_loss);
+  fate.extra_delay = rng.uniform() * spec_.lsa_jitter;
+  fate.duplicated = rng.chance(spec_.lsa_dup);
+  fate.duplicate_delay = rng.uniform() * spec_.lsa_jitter;
+  return fate;
+}
+
+DetectFate FaultPlan::detect_fate(graph::EdgeId e, std::uint64_t gen) const {
+  Rng rng = keyed(2, e, gen);
+  DetectFate fate;
+  fate.missed = rng.chance(spec_.miss_detect);
+  fate.latency = rng.uniform() * spec_.detect_jitter;
+  return fate;
+}
+
+lsdb::SimTime FaultPlan::dwell(graph::EdgeId e, std::uint64_t gen,
+                               std::size_t k, bool down) const {
+  Rng rng = keyed(3, (static_cast<std::uint64_t>(e) << 24) ^ gen, k);
+  const lsdb::SimTime base = down ? spec_.down_dwell : spec_.up_dwell;
+  return base + rng.uniform() * spec_.dwell_jitter;
+}
+
+}  // namespace rbpc::chaos

@@ -1,0 +1,92 @@
+// FaultPlan: a seeded, deterministic perturbation plan for the control
+// plane. All chaos in this library flows through one of these.
+//
+// Determinism is the whole point: a chaos drill must replay bit-identically
+// from its seed, or a violation it finds cannot be debugged. The plan
+// therefore never draws from a shared random stream — every query derives a
+// fresh generator from a splitmix64-mixed key of (seed, query kind, edge,
+// generation, router), so the answer depends only on *what* is asked, never
+// on the order or number of prior queries. Two drills with the same seed
+// that schedule work differently still see identical faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "lsdb/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::chaos {
+
+/// Knobs for the fault model. Default-constructed = no faults at all (a
+/// chaos drill with a default spec degenerates to a classic drill with
+/// flood delays).
+struct FaultSpec {
+  // --- LSA flood perturbation ---------------------------------------------
+  double lsa_loss = 0.0;    ///< chance a flooded LSA copy never arrives
+  double lsa_jitter = 0.0;  ///< max extra delivery delay, uniform [0, x]
+  double lsa_dup = 0.0;     ///< chance a delivery is duplicated
+
+  // --- failure detection at the link endpoints ----------------------------
+  double detect_jitter = 0.0;  ///< max extra detection latency, uniform
+  double miss_detect = 0.0;    ///< chance the event is not announced at all
+                               ///< until the next periodic refresh
+
+  /// Periodic LSA refresh: every refresh_interval the protocol re-floods
+  /// the current state of any edge the vantage has not caught up on. This
+  /// is what makes convergence eventual rather than hopeful — lost and
+  /// missed LSAs are re-delivered at the next epoch.
+  lsdb::SimTime refresh_interval = 30.0;
+
+  // --- link flaps ----------------------------------------------------------
+  /// Extra up/down bounces appended to every failure event (0 = clean
+  /// failures). Each bounce floods its own generation.
+  std::size_t flap_count = 0;
+  lsdb::SimTime down_dwell = 2.0;  ///< time a flapping link stays down
+  lsdb::SimTime up_dwell = 2.0;    ///< time a flapping link stays up
+  double dwell_jitter = 0.0;       ///< max extra dwell, uniform [0, x]
+};
+
+/// Per-(LSA, router) delivery fate.
+struct LsaFate {
+  bool lost = false;            ///< the primary delivery never arrives
+  double extra_delay = 0.0;     ///< jitter added to the primary delivery
+  bool duplicated = false;      ///< a second copy arrives as well
+  double duplicate_delay = 0.0; ///< jitter of the duplicate copy
+};
+
+/// Per-LSA origination fate (failure detection at the endpoints).
+struct DetectFate {
+  bool missed = false;   ///< detection failed; only the refresh announces it
+  double latency = 0.0;  ///< extra detection latency before flooding starts
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(FaultSpec spec, std::uint64_t seed) : spec_(spec), seed_(seed) {}
+
+  const FaultSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fate of generation `gen` of edge `e`'s LSA at `router`.
+  LsaFate lsa_fate(graph::EdgeId e, std::uint64_t gen,
+                   graph::NodeId router) const;
+
+  /// Fate of detecting generation `gen` of edge `e` at the endpoints.
+  DetectFate detect_fate(graph::EdgeId e, std::uint64_t gen) const;
+
+  /// Jittered dwell for bounce `k` of edge `e`'s flap sequence starting at
+  /// generation `gen`; `down` selects which base dwell applies.
+  lsdb::SimTime dwell(graph::EdgeId e, std::uint64_t gen, std::size_t k,
+                      bool down) const;
+
+ private:
+  /// Fresh generator keyed by (seed, kind, a, b) — order-independent.
+  Rng keyed(std::uint64_t kind, std::uint64_t a, std::uint64_t b) const;
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rbpc::chaos

@@ -1,6 +1,7 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/restoration.hpp"
 #include "spf/bypass.hpp"
@@ -20,8 +21,40 @@ RbpcController::RbpcController(const graph::Graph& g, spf::Metric metric)
       metric_(metric),
       oracle0_(g, graph::FailureMask{}, metric),
       base_(oracle0_),
-      net_(g) {
+      net_(g),
+      unfailed_trees_(g, graph::FailureMask{},
+                      spf::SpfOptions{.metric = metric, .padded = true}),
+      degrade_stale_(
+          obs::MetricsRegistry::global().counter("ctl.degrade.stale_fec")),
+      degrade_no_route_(
+          obs::MetricsRegistry::global().counter("ctl.degrade.no_route")) {
   require(!g.directed(), "RbpcController: undirected networks only");
+}
+
+spf::TreeCache& RbpcController::view_cache() {
+  if (!view_cache_) {
+    view_cache_ = std::make_unique<spf::TreeCache>(
+        g_, mask_, spf::SpfOptions{.metric = metric_, .padded = true},
+        spf::TreeCacheOptions{}, &unfailed_trees_);
+  }
+  return *view_cache_;
+}
+
+Restoration RbpcController::restore_via_ladder(NodeId u, NodeId v) {
+  Restoration r;
+  const std::shared_ptr<const spf::ShortestPathTree> tree = view_cache().tree(u);
+  if (!tree->reachable(v)) return r;
+  r.backup = tree->path_to(g_, v);
+  r.decomposition = greedy_decompose(base_, r.backup);
+  return r;
+}
+
+DegradeStats RbpcController::degrade_stats() const {
+  DegradeStats s;
+  s.stale_fec = degrade_stale_.value();
+  s.no_route = degrade_no_route_.value();
+  s.degraded_pairs = stale_pairs_.size();
+  return s;
 }
 
 std::uint64_t RbpcController::pair_key(NodeId u, NodeId v) const {
@@ -126,19 +159,38 @@ void RbpcController::reroute_pair(NodeId u, NodeId v) {
   if (lsp_it == pair_lsp_.end()) return;  // never connected: nothing to do
 
   if (!mask_.node_alive(u) || !mask_.node_alive(v)) {
+    // A dead endpoint cannot source or sink traffic — retention would only
+    // feed a black hole, so this always clears.
+    stale_pairs_.erase(key);
     apply_chain(u, v, {}, /*is_default=*/false);
     return;
   }
   if (mask_.empty() || net_.lsp(lsp_it->second).path.alive(g_, mask_)) {
     // Default base LSP is intact (or everything recovered): use it.
+    stale_pairs_.erase(key);
     apply_chain(u, v, {lsp_it->second}, /*is_default=*/true);
     return;
   }
-  const Restoration r = source_rbpc_restore(base_, u, v, mask_);
+  const Restoration r = restore_via_ladder(u, v);
   if (!r.restored()) {
+    const bool has_chain = !broken_pairs_.contains(key);
+    if (degrade_ && has_chain) {
+      // Ladder rung 3: stale-view forwarding. Keep the installed chain;
+      // record it as the pair's current chain so apply_chain bookkeeping
+      // stays consistent and the pair is revisited on every later event.
+      if (!dirty_pairs_.contains(key)) {
+        dirty_pairs_[key] = {lsp_it->second};
+      }
+      if (stale_pairs_.insert(key).second) degrade_stale_.inc();
+      return;
+    }
+    // Ladder rung 4: no route under the view — clear the FEC entry.
+    stale_pairs_.erase(key);
+    if (!broken_pairs_.contains(key)) degrade_no_route_.inc();
     apply_chain(u, v, {}, /*is_default=*/false);
     return;
   }
+  stale_pairs_.erase(key);
   apply_chain(u, v, chain_for(r.decomposition), /*is_default=*/false);
 }
 
@@ -171,6 +223,7 @@ void RbpcController::fail_link(EdgeId e) {
   require(!mask_.edge_failed(e), "fail_link: link already failed");
   mask_.fail_edge(e);
   net_.set_failures(mask_);
+  invalidate_view_cache();
 
   // Fast path: a precomputed plan covers the single-failure case exactly.
   if (mask_.failed_edge_count() == 1 && mask_.failed_node_count() == 0) {
@@ -194,6 +247,7 @@ void RbpcController::recover_link(EdgeId e) {
   undo_local_patches(e);
   mask_.restore_edge(e);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected({});
 }
 
@@ -202,6 +256,7 @@ void RbpcController::fail_router(NodeId v) {
   require(mask_.node_alive(v), "fail_router: router already failed");
   mask_.fail_node(v);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   std::vector<LspId> disrupted;
   for (LspId id = 0; id < net_.num_lsps(); ++id) {
     if (net_.lsp(id).path.visits_node(v)) disrupted.push_back(id);
@@ -215,6 +270,7 @@ void RbpcController::recover_router(NodeId v) {
   for (const graph::Arc& a : g_.arcs(v)) undo_local_patches(a.edge);
   mask_.restore_node(v);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected({});
 }
 
@@ -292,6 +348,18 @@ void RbpcController::undo_local_patches(EdgeId e) {
 
 mpls::ForwardResult RbpcController::send(NodeId src, NodeId dst) {
   require(provisioned_, "RbpcController: provision() first");
+  return net_.send(src, dst);
+}
+
+mpls::ForwardResult RbpcController::send_or_throw(NodeId src, NodeId dst) {
+  require(provisioned_, "RbpcController: provision() first");
+  require(src < g_.num_nodes() && dst < g_.num_nodes(),
+          "send_or_throw: router out of range");
+  if (broken_pairs_.contains(pair_key(src, dst))) {
+    throw NoRouteError("send_or_throw: no route from " + std::to_string(src) +
+                       " to " + std::to_string(dst) +
+                       " under the current view");
+  }
   return net_.send(src, dst);
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,11 +30,15 @@
 
 #include "core/base_set.hpp"
 #include "core/decompose.hpp"
+#include "core/degrade.hpp"
 #include "core/fec_update.hpp"
+#include "core/restoration.hpp"
 #include "graph/graph.hpp"
 #include "mpls/network.hpp"
+#include "obs/metrics.hpp"
 #include "spf/metric.hpp"
 #include "spf/oracle.hpp"
+#include "spf/tree_cache.hpp"
 
 namespace rbpc::core {
 
@@ -80,9 +85,30 @@ class RbpcController {
   /// Reverses local_patch splices for `e` (called on recovery).
   void undo_local_patches(graph::EdgeId e);
 
+  // --- graceful degradation -------------------------------------------------
+
+  /// Enables stale-view forwarding (ladder rung 3): when a reroute finds
+  /// no surviving route under the controller's current view, the pair's
+  /// previous FEC chain is retained instead of cleared. Packets on the
+  /// stale chain are dropped at the first dead link or unknown label (and
+  /// loops are TTL-guarded), but chains that are only *believed* dead —
+  /// the common case under a stale LSDB view — keep forwarding. The pair
+  /// stays dirty, so every later topology event re-attempts a clean
+  /// restoration. Off by default: with a perfect view, clearing is exact.
+  void set_graceful_degradation(bool on) { degrade_ = on; }
+  bool graceful_degradation() const { return degrade_; }
+
+  /// Ladder rungs 3-4 counters (lifetime totals + current degraded pairs).
+  DegradeStats degrade_stats() const;
+
   // --- data plane ------------------------------------------------------------
 
   mpls::ForwardResult send(graph::NodeId src, graph::NodeId dst);
+
+  /// Like send, but makes ladder rung 4 explicit: throws NoRouteError when
+  /// the pair's FEC entry was cleared because restoration is impossible
+  /// under the controller's view (instead of reporting a NoFecEntry drop).
+  mpls::ForwardResult send_or_throw(graph::NodeId src, graph::NodeId dst);
 
   // --- introspection ----------------------------------------------------------
 
@@ -109,6 +135,19 @@ class RbpcController {
   graph::FailureMask mask_;
   bool provisioned_ = false;
   std::size_t num_base_lsps_ = 0;
+  bool degrade_ = false;
+
+  // Ladder rungs 1-2: per-source trees under the current view mask are
+  // repaired incrementally from the shared unfailed trees (and fall back
+  // to scratch SPF inside the cache); the view cache is invalidated on
+  // every topology event, the unfailed trees persist for the controller's
+  // lifetime.
+  spf::TreeCache unfailed_trees_;
+  std::unique_ptr<spf::TreeCache> view_cache_;
+  // Pairs currently forwarding on a retained stale chain (rung 3).
+  std::unordered_set<std::uint64_t> stale_pairs_;
+  obs::InstanceCounter degrade_stale_;
+  obs::InstanceCounter degrade_no_route_;
 
   std::uint64_t pair_key(graph::NodeId u, graph::NodeId v) const;
 
@@ -131,6 +170,18 @@ class RbpcController {
 
   /// Maps a decomposition onto provisioned LSP ids.
   std::vector<mpls::LspId> chain_for(const Decomposition& d);
+
+  /// The per-source tree cache for the current view mask (built lazily).
+  spf::TreeCache& view_cache();
+  /// Drops the view cache; call after every mask_ mutation.
+  void invalidate_view_cache() { view_cache_.reset(); }
+
+  /// Source-RBPC restoration through the degradation ladder's SPF rungs:
+  /// bit-identical to source_rbpc_restore(base_, u, v, mask_) — the batch
+  /// engine's differential tests pin tree-derived paths to the serial
+  /// restoration — but served by incremental repair of the shared
+  /// unfailed trees where possible.
+  Restoration restore_via_ladder(graph::NodeId u, graph::NodeId v);
 
   /// Installs `chain` (or clears FEC when empty) for the pair, maintaining
   /// the reverse index and dirty bookkeeping.

@@ -1,0 +1,26 @@
+// Shared counters for the restoration degradation ladder implemented by
+// RbpcController and MergedRbpcController. The ladder, from best to worst:
+//   1. incremental SPT repair    (view-mask trees repaired from the
+//                                 unfailed trees; spf/tree_cache)
+//   2. from-scratch SPF          (repair fallback inside the cache)
+//   3. stale-view forwarding     (no route under the current view: the
+//                                 previous FEC entry is retained; drops
+//                                 and loops are TTL-guarded and counted)
+//   4. no route                  (FEC cleared / NoRouteError from
+//                                 send_or_throw)
+// Rungs 1-2 are visible through the cache.repair / cache.scratch metrics;
+// rungs 3-4 are counted here and mirrored into the registry as
+// ctl.degrade.stale_fec / ctl.degrade.no_route.
+#pragma once
+
+#include <cstddef>
+
+namespace rbpc::core {
+
+struct DegradeStats {
+  std::size_t stale_fec = 0;  ///< reroutes that retained a stale chain
+  std::size_t no_route = 0;   ///< reroutes that cleared the pair's FEC
+  std::size_t degraded_pairs = 0;  ///< pairs currently on a stale chain
+};
+
+}  // namespace rbpc::core

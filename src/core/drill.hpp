@@ -36,6 +36,12 @@ struct DrillActions {
   std::function<void(graph::EdgeId)> local_patch;
   std::function<mpls::ForwardResult(graph::NodeId, graph::NodeId)> send;
   std::function<const graph::FailureMask&()> failures;
+  /// Optional, chaos drills only: forces the *data plane's* failure state to
+  /// the given ground truth, without telling the control plane. Controllers
+  /// overwrite the network mask with their own (possibly stale) view on
+  /// every event they process, so a chaos driver re-asserts the truth after
+  /// each control-plane call. Null for classic drills, where view == truth.
+  std::function<void(const graph::FailureMask&)> set_data_failures;
 };
 
 struct DrillConfig {

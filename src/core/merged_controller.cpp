@@ -1,6 +1,7 @@
 #include "core/merged_controller.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/restoration.hpp"
 #include "spf/spf.hpp"
@@ -19,8 +20,40 @@ MergedRbpcController::MergedRbpcController(const graph::Graph& g,
       metric_(metric),
       oracle0_(g, graph::FailureMask{}, metric),
       base_(oracle0_),
-      net_(g) {
+      net_(g),
+      unfailed_trees_(g, graph::FailureMask{},
+                      spf::SpfOptions{.metric = metric, .padded = true}),
+      degrade_stale_(
+          obs::MetricsRegistry::global().counter("ctl.degrade.stale_fec")),
+      degrade_no_route_(
+          obs::MetricsRegistry::global().counter("ctl.degrade.no_route")) {
   require(!g.directed(), "MergedRbpcController: undirected networks only");
+}
+
+spf::TreeCache& MergedRbpcController::view_cache() {
+  if (!view_cache_) {
+    view_cache_ = std::make_unique<spf::TreeCache>(
+        g_, mask_, spf::SpfOptions{.metric = metric_, .padded = true},
+        spf::TreeCacheOptions{}, &unfailed_trees_);
+  }
+  return *view_cache_;
+}
+
+Restoration MergedRbpcController::restore_via_ladder(NodeId u, NodeId v) {
+  Restoration r;
+  const std::shared_ptr<const spf::ShortestPathTree> tree = view_cache().tree(u);
+  if (!tree->reachable(v)) return r;
+  r.backup = tree->path_to(g_, v);
+  r.decomposition = greedy_decompose(base_, r.backup);
+  return r;
+}
+
+DegradeStats MergedRbpcController::degrade_stats() const {
+  DegradeStats s;
+  s.stale_fec = degrade_stale_.value();
+  s.no_route = degrade_no_route_.value();
+  s.degraded_pairs = stale_pairs_.size();
+  return s;
 }
 
 std::uint64_t MergedRbpcController::pair_key(NodeId u, NodeId v) const {
@@ -107,9 +140,12 @@ void MergedRbpcController::reroute_pair(NodeId u, NodeId v) {
     net_.lsr_mutable(u).clear_fec(v);
     routes_.erase(key);
     dirty_pairs_.erase(key);
+    stale_pairs_.erase(key);
     broken_pairs_.insert(key);
   };
   if (!mask_.node_alive(u) || !mask_.node_alive(v)) {
+    // A dead endpoint cannot source or sink traffic — retention would only
+    // feed a black hole, so this always clears.
     mark_broken();
     return;
   }
@@ -121,17 +157,29 @@ void MergedRbpcController::reroute_pair(NodeId u, NodeId v) {
     net_.lsr_mutable(u).set_fec(v, std::move(entry));
     routes_[key] = canonical;
     dirty_pairs_.erase(key);
+    stale_pairs_.erase(key);
     broken_pairs_.erase(key);
     return;
   }
-  const Restoration r = source_rbpc_restore(base_, u, v, mask_);
+  const Restoration r = restore_via_ladder(u, v);
   if (!r.restored()) {
+    if (degrade_ && !broken_pairs_.contains(key)) {
+      // Ladder rung 3: stale-view forwarding. Keep the installed FEC entry
+      // and the recorded route; the pair stays dirty so every later
+      // topology event re-attempts a clean restoration.
+      dirty_pairs_.insert(key);
+      if (stale_pairs_.insert(key).second) degrade_stale_.inc();
+      return;
+    }
+    // Ladder rung 4: no route under the view — clear the FEC entry.
+    if (!broken_pairs_.contains(key)) degrade_no_route_.inc();
     mark_broken();
     return;
   }
   install_fec(u, v, r.decomposition);
   routes_[key] = r.backup;
   dirty_pairs_.insert(key);
+  stale_pairs_.erase(key);
   broken_pairs_.erase(key);
 }
 
@@ -160,6 +208,7 @@ void MergedRbpcController::fail_link(EdgeId e) {
   require(!mask_.edge_failed(e), "fail_link: link already failed");
   mask_.fail_edge(e);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected(e, graph::kInvalidNode);
 }
 
@@ -169,6 +218,7 @@ void MergedRbpcController::recover_link(EdgeId e) {
   undo_local_patches(e);
   mask_.restore_edge(e);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected(e, graph::kInvalidNode);
 }
 
@@ -177,6 +227,7 @@ void MergedRbpcController::fail_router(NodeId v) {
   require(mask_.node_alive(v), "fail_router: router already failed");
   mask_.fail_node(v);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected(graph::kInvalidEdge, v);
 }
 
@@ -185,6 +236,7 @@ void MergedRbpcController::recover_router(NodeId v) {
   require(mask_.node_failed(v), "recover_router: router is not failed");
   mask_.restore_node(v);
   net_.set_failures(mask_);
+  invalidate_view_cache();
   reroute_affected(graph::kInvalidEdge, v);
 }
 
@@ -239,6 +291,19 @@ void MergedRbpcController::undo_local_patches(EdgeId e) {
 
 mpls::ForwardResult MergedRbpcController::send(NodeId src, NodeId dst) {
   require(provisioned_, "MergedRbpcController: provision() first");
+  return net_.send(src, dst);
+}
+
+mpls::ForwardResult MergedRbpcController::send_or_throw(NodeId src,
+                                                        NodeId dst) {
+  require(provisioned_, "MergedRbpcController: provision() first");
+  require(src < g_.num_nodes() && dst < g_.num_nodes(),
+          "send_or_throw: router out of range");
+  if (broken_pairs_.contains(pair_key(src, dst))) {
+    throw NoRouteError("send_or_throw: no route from " + std::to_string(src) +
+                       " to " + std::to_string(dst) +
+                       " under the current view");
+  }
   return net_.send(src, dst);
 }
 

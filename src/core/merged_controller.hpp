@@ -18,16 +18,21 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/base_set.hpp"
 #include "core/decompose.hpp"
+#include "core/degrade.hpp"
+#include "core/restoration.hpp"
 #include "graph/graph.hpp"
 #include "mpls/network.hpp"
+#include "obs/metrics.hpp"
 #include "spf/metric.hpp"
 #include "spf/oracle.hpp"
+#include "spf/tree_cache.hpp"
 
 namespace rbpc::core {
 
@@ -52,7 +57,24 @@ class MergedRbpcController {
   std::size_t local_patch(graph::EdgeId e);
   void undo_local_patches(graph::EdgeId e);
 
+  // --- graceful degradation -------------------------------------------------
+
+  /// Enables stale-view forwarding (ladder rung 3): when a reroute finds no
+  /// surviving route under the controller's current view, the pair's
+  /// previous FEC entry is retained instead of cleared (see
+  /// RbpcController::set_graceful_degradation). Off by default.
+  void set_graceful_degradation(bool on) { degrade_ = on; }
+  bool graceful_degradation() const { return degrade_; }
+
+  /// Ladder rungs 3-4 counters (lifetime totals + current degraded pairs).
+  DegradeStats degrade_stats() const;
+
   mpls::ForwardResult send(graph::NodeId src, graph::NodeId dst);
+
+  /// Like send, but makes ladder rung 4 explicit: throws NoRouteError when
+  /// the pair's FEC entry was cleared because restoration is impossible
+  /// under the controller's view.
+  mpls::ForwardResult send_or_throw(graph::NodeId src, graph::NodeId dst);
 
   mpls::Network& network() { return net_; }
   const mpls::Network& network() const { return net_; }
@@ -67,6 +89,16 @@ class MergedRbpcController {
   mpls::Network net_;
   graph::FailureMask mask_;
   bool provisioned_ = false;
+  bool degrade_ = false;
+
+  // Ladder rungs 1-2: view-mask trees repaired incrementally from the
+  // shared unfailed trees (scratch SPF fallback inside the cache).
+  spf::TreeCache unfailed_trees_;
+  std::unique_ptr<spf::TreeCache> view_cache_;
+  /// Pairs currently forwarding on a retained stale chain (rung 3).
+  std::unordered_set<std::uint64_t> stale_pairs_;
+  obs::InstanceCounter degrade_stale_;
+  obs::InstanceCounter degrade_no_route_;
 
   /// Per-edge one-hop LSPs, [forward, backward].
   std::vector<std::array<mpls::LspId, 2>> edge_lsp_;
@@ -87,6 +119,16 @@ class MergedRbpcController {
   std::vector<mpls::Label> stack_for(const Decomposition& d) const;
 
   void install_fec(graph::NodeId s, graph::NodeId t, const Decomposition& d);
+
+  /// The per-source tree cache for the current view mask (built lazily).
+  spf::TreeCache& view_cache();
+  /// Drops the view cache; call after every mask_ mutation.
+  void invalidate_view_cache() { view_cache_.reset(); }
+
+  /// Source-RBPC restoration through the ladder's SPF rungs; bit-identical
+  /// to source_rbpc_restore(base_, u, v, mask_).
+  Restoration restore_via_ladder(graph::NodeId u, graph::NodeId v);
+
   void reroute_pair(graph::NodeId u, graph::NodeId v);
   void reroute_affected(graph::EdgeId changed_edge, graph::NodeId changed_node);
 };

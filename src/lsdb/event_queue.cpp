@@ -1,24 +1,49 @@
 #include "lsdb/event_queue.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace rbpc::lsdb {
 
-void EventQueue::schedule(SimTime delay, std::function<void()> fn) {
+EventToken EventQueue::schedule(SimTime delay, std::function<void()> fn) {
+  require(!std::isnan(delay), "EventQueue::schedule: NaN delay");
   require(delay >= 0.0, "EventQueue::schedule: negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn));
 }
 
-void EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+EventToken EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+  require(!std::isnan(when), "EventQueue::schedule_at: NaN time");
   require(when >= now_, "EventQueue::schedule_at: time in the past");
-  heap_.push(Item{when, next_seq_++, std::move(fn)});
+  const EventToken token = next_seq_++;
+  heap_.push(Item{when, token, std::move(fn)});
+  live_.insert(token);
+  return token;
+}
+
+bool EventQueue::cancel(EventToken token) {
+  // Only tokens still queued can move to the cancelled set; a token that
+  // already fired (or was already cancelled) is a no-op so callers can
+  // cancel unconditionally on supersession.
+  if (live_.erase(token) == 0) return false;
+  cancelled_.insert(token);
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().seq)) {
+    cancelled_.erase(heap_.top().seq);
+    heap_.pop();
+  }
 }
 
 bool EventQueue::step() {
+  drop_cancelled_head();
   if (heap_.empty()) return false;
   // Copy out before pop: the callback may schedule new events.
   Item item = heap_.top();
   heap_.pop();
+  live_.erase(item.seq);
   now_ = item.when;
   item.fn();
   return true;
@@ -30,7 +55,11 @@ void EventQueue::run_all() {
 }
 
 void EventQueue::run_until(SimTime deadline) {
-  while (!heap_.empty() && heap_.top().when <= deadline) step();
+  for (;;) {
+    drop_cancelled_head();
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    step();
+  }
   if (now_ < deadline) now_ = deadline;
 }
 

@@ -1,31 +1,50 @@
 // Minimal discrete-event simulation core.
 //
 // Deterministic: events at equal times fire in scheduling order (a
-// monotonically increasing sequence number breaks ties).
+// monotonically increasing sequence number breaks ties). The sequence
+// number doubles as a cancellation token: flap-recovery events that are
+// superseded by a newer transition can be invalidated with cancel()
+// instead of firing as stale work.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace rbpc::lsdb {
 
 using SimTime = double;
 
+/// Handle to a scheduled event, usable with EventQueue::cancel.
+using EventToken = std::uint64_t;
+
 class EventQueue {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at now() + delay. Precondition: delay >= 0.
-  void schedule(SimTime delay, std::function<void()> fn);
-  /// Schedules at an absolute time >= now().
-  void schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedules `fn` to run at now() + delay. Precondition: delay >= 0 and
+  /// not NaN (either raises PreconditionError — a NaN delay would silently
+  /// corrupt the heap ordering, since NaN compares false against
+  /// everything). Returns a token for cancel().
+  EventToken schedule(SimTime delay, std::function<void()> fn);
+  /// Schedules at an absolute time >= now() (and not NaN).
+  EventToken schedule_at(SimTime when, std::function<void()> fn);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  /// Invalidates a pending event: it will be discarded, unfired, when its
+  /// time comes (the clock does not advance to a cancelled event's time
+  /// unless a live event shares it). Returns true when the token named a
+  /// pending event; false when it already fired, was already cancelled, or
+  /// never existed.
+  bool cancel(EventToken token);
 
-  /// Runs the next event; returns false when none remain.
+  bool empty() const { return pending() == 0; }
+  /// Live (non-cancelled) events still queued.
+  std::size_t pending() const { return live_.size(); }
+  std::size_t cancelled_pending() const { return cancelled_.size(); }
+
+  /// Runs the next live event; returns false when none remain.
   bool step();
   /// Runs events until the queue drains.
   void run_all();
@@ -44,7 +63,15 @@ class EventQueue {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
+
+  /// Pops cancelled items off the heap top without running them.
+  void drop_cancelled_head();
+
   std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  /// Tokens of queued, not-yet-cancelled events (mirrors the heap).
+  std::unordered_set<EventToken> live_;
+  /// Tokens cancelled while still queued; erased as their items surface.
+  std::unordered_set<EventToken> cancelled_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

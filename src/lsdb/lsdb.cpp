@@ -10,12 +10,30 @@ namespace rbpc::lsdb {
 using graph::EdgeId;
 using graph::NodeId;
 
-void Lsdb::apply(const LinkEvent& ev) {
+bool Lsdb::apply(const LinkEvent& ev) {
+  if (ev.generation != 0) {
+    if (generation_.size() <= ev.edge) generation_.resize(ev.edge + 1, 0);
+    const std::uint64_t applied = generation_[ev.edge];
+    if (ev.generation == applied) {
+      ++duplicates_;
+      return false;
+    }
+    if (ev.generation < applied) {
+      ++stale_;
+      return false;
+    }
+    generation_[ev.edge] = ev.generation;
+  }
   if (ev.up) {
     view_.restore_edge(ev.edge);
   } else {
     view_.fail_edge(ev.edge);
   }
+  return true;
+}
+
+std::uint64_t Lsdb::applied_generation(EdgeId e) const {
+  return e < generation_.size() ? generation_[e] : 0;
 }
 
 bool Lsdb::knows_down(EdgeId e) const { return view_.edge_failed(e); }

@@ -9,6 +9,7 @@
 // hybrid scheme's timeline depends on.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -22,19 +23,45 @@ namespace rbpc::lsdb {
 struct LinkEvent {
   graph::EdgeId edge = graph::kInvalidEdge;
   bool up = false;  ///< false = failure, true = recovery
+  /// LSA sequence number for this edge. 0 means "unsequenced" (legacy
+  /// callers): such events are always applied. Nonzero generations enable
+  /// the duplicate/stale suppression real floods need — a re-flooded copy
+  /// (generation already applied) and a reordered older LSA (generation
+  /// below the applied one) are both discarded by Lsdb::apply.
+  std::uint64_t generation = 0;
 };
 
 /// One router's view of which links are currently down. Each router applies
 /// the LSAs it has received; views therefore lag reality during floods.
+/// Chaotic floods deliver LSAs lost, late, duplicated and reordered; the
+/// per-edge generation bookkeeping makes apply() idempotent and
+/// newest-wins, which is what lets a perturbed flood still converge to the
+/// true topology.
 class Lsdb {
  public:
-  void apply(const LinkEvent& ev);
+  /// Applies the LSA unless it is a duplicate or older than an already
+  /// applied LSA for the same edge (nonzero generations only). Returns
+  /// true when the view changed ownership of the event (i.e. it was
+  /// applied), false when it was discarded.
+  bool apply(const LinkEvent& ev);
   bool knows_down(graph::EdgeId e) const;
   /// The router's current (possibly stale) failure view.
   const graph::FailureMask& view() const { return view_; }
 
+  /// Highest generation applied for `e` (0 = none / unsequenced only).
+  std::uint64_t applied_generation(graph::EdgeId e) const;
+
+  /// Discard counters: re-delivered already-applied generations, and LSAs
+  /// superseded by a newer applied generation.
+  std::uint64_t duplicates_discarded() const { return duplicates_; }
+  std::uint64_t stale_discarded() const { return stale_; }
+
  private:
   graph::FailureMask view_;
+  /// edge -> highest applied generation; grown on demand like the mask.
+  std::vector<std::uint64_t> generation_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t stale_ = 0;
 };
 
 struct FloodParams {

@@ -1,7 +1,9 @@
 #include "mpls/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::mpls {
@@ -253,20 +255,46 @@ ForwardResult Network::send_with_stack(NodeId src, NodeId dst,
 
 ForwardResult Network::forward_loop(Packet& pkt) {
   ++stats_.packets;
+  bool looped = false;
   auto finish = [&](ForwardStatus status) {
     ForwardResult r;
     r.status = status;
     r.stopped_at = pkt.at;
     r.hops = pkt.trace.size() - 1;
     r.trace = std::move(pkt.trace);
+    r.looped = looped;
     if (status == ForwardStatus::Delivered) {
       ++stats_.delivered;
     } else {
       ++stats_.dropped;
     }
+    if (status == ForwardStatus::UnknownLabel) {
+      ++stats_.label_misses;
+      if constexpr (obs::kObsEnabled) {
+        static obs::Counter misses =
+            obs::MetricsRegistry::global().counter("mpls.label_miss");
+        misses.inc();
+      }
+    }
+    if (status == ForwardStatus::TtlExpired) {
+      ++stats_.ttl_expired;
+      if constexpr (obs::kObsEnabled) {
+        static obs::Counter expired =
+            obs::MetricsRegistry::global().counter("mpls.ttl_expired");
+        expired.inc();
+      }
+    }
     stats_.link_hops += r.hops;
     return r;
   };
+
+  // Loop detection: a packet that re-enters a (router, top label) state it
+  // has already been in — at a link transmission, where TTL is spent — is
+  // cycling: the tables are deterministic, so the same state replays the
+  // same hops until TTL or a dead link stops it. Stale views make such
+  // loops possible (splices installed against different snapshots), so
+  // they are counted, not asserted away.
+  std::vector<std::pair<graph::NodeId, Label>> seen;
 
   for (;;) {
     if (pkt.stack.empty()) {
@@ -286,6 +314,20 @@ ForwardResult Network::forward_loop(Packet& pkt) {
     }
     if (!mask_.edge_alive(g_, entry->out_interface)) {
       return finish(ForwardStatus::LinkDown);
+    }
+    if (!looped) {
+      const std::pair<graph::NodeId, Label> state{pkt.at, top};
+      if (std::find(seen.begin(), seen.end(), state) != seen.end()) {
+        looped = true;
+        ++stats_.loops_detected;
+        if constexpr (obs::kObsEnabled) {
+          static obs::Counter loops =
+              obs::MetricsRegistry::global().counter("mpls.loop_detected");
+          loops.inc();
+        }
+      } else {
+        seen.push_back(state);
+      }
     }
     if (pkt.ttl-- <= 0) return finish(ForwardStatus::TtlExpired);
     pkt.at = g_.other_end(entry->out_interface, pkt.at);

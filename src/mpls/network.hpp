@@ -138,12 +138,19 @@ class Network {
   std::size_t max_ilm_entries() const;
 
   /// Cumulative data-plane counters (since construction or reset_stats).
+  /// The degradation counters (label_misses, ttl_expired, loops_detected)
+  /// exist because stale control-plane views are survivable, not fatal: a
+  /// packet hitting a stale ILM entry is dropped and counted — never an
+  /// assert — and loops are detected and attributed to the TTL guard.
   struct ForwardStats {
     std::uint64_t packets = 0;      ///< packets injected
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t link_hops = 0;    ///< links traversed
     std::uint64_t label_ops = 0;    ///< ILM lookups (pop+push bundles)
+    std::uint64_t label_misses = 0; ///< drops on a label with no ILM entry
+    std::uint64_t ttl_expired = 0;  ///< drops by the TTL loop guard
+    std::uint64_t loops_detected = 0;  ///< packets that revisited a state
   };
   const ForwardStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

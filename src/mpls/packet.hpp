@@ -35,6 +35,12 @@ struct ForwardResult {
   /// Total links traversed.
   std::size_t hops = 0;
   std::vector<graph::NodeId> trace;
+  /// True when the packet revisited a (router, top label) state — a
+  /// forwarding loop. Label tables are deterministic, so a repeated state
+  /// cycles until the TTL guard (or a dead link) kills the packet; the
+  /// flag lets chaos drills count loops and assert every one was
+  /// TTL-guarded rather than delivered.
+  bool looped = false;
 
   bool delivered() const { return status == ForwardStatus::Delivered; }
 };

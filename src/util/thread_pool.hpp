@@ -34,9 +34,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues one task. Exceptions escaping a submitted task terminate
-  /// (use parallel_for when tasks can throw).
+  /// Enqueues one task. An exception escaping a submitted task no longer
+  /// terminates the process: the worker captures the first one, and the
+  /// caller collects it from rethrow_first_error() (parallel_for has its
+  /// own per-call propagation and does not go through this channel).
   void submit(std::function<void()> task);
+
+  /// Rethrows the first exception that escaped a submit()-ed task since
+  /// the last call (and clears it); no-op when none escaped. An error
+  /// still pending at destruction is dropped — drain with this before
+  /// tearing the pool down when submitted tasks can throw.
+  void rethrow_first_error();
+
+  /// True when a submit()-ed task's exception is waiting to be rethrown.
+  bool has_error() const;
 
   /// Runs fn(0) .. fn(n - 1) across the pool and blocks until all calls
   /// returned. Indices are claimed dynamically (atomic counter), so the
@@ -53,10 +64,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  /// First exception that escaped a submit()-ed task (parallel_for tasks
+  /// catch their own); guarded by mu_.
+  std::exception_ptr first_error_;
 };
 
 }  // namespace rbpc

@@ -15,7 +15,10 @@
 // so CI can run it under ThreadSanitizer to catch pool/cache data races.
 #include <gtest/gtest.h>
 
+#include "corpus.hpp"
+
 #include <atomic>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -45,45 +48,9 @@ using graph::Graph;
 using graph::NodeId;
 using graph::Path;
 
-// ---------------------------------------------------------------------------
-// Topology corpus: paper gadgets + three random families, 52 topologies.
-// ---------------------------------------------------------------------------
-
-struct TopoCase {
-  std::string name;
-  Graph g;
-};
-
-std::vector<TopoCase> corpus() {
-  std::vector<TopoCase> out;
-  out.push_back({"comb4", topo::make_comb(4).g});
-  out.push_back({"weighted_chain3", topo::make_weighted_chain(3).g});
-  out.push_back({"two_level_star12", topo::make_two_level_star(12).g});
-  out.push_back({"four_cycle", topo::make_four_cycle()});
-  out.push_back({"parallel_chain3", topo::make_parallel_chain(3).g});
-  out.push_back({"ring9", topo::make_ring(9)});
-  out.push_back({"grid4x5", topo::make_grid(4, 5)});
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(1000 + seed);
-    const std::size_t n = 12 + 2 * static_cast<std::size_t>(seed);
-    out.push_back({"mesh" + std::to_string(seed),
-                   topo::make_random_connected(n, n + n / 2 + 4, rng, 9)});
-  }
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(2000 + seed);
-    out.push_back({"waxman" + std::to_string(seed),
-                   topo::make_waxman(18 + static_cast<std::size_t>(seed),
-                                     0.4, 0.35, rng)});
-  }
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(3000 + seed);
-    out.push_back(
-        {"ba" + std::to_string(seed),
-         topo::make_barabasi_albert(16 + static_cast<std::size_t>(seed), 2,
-                                    0.3, rng, 0.4)});
-  }
-  return out;
-}
+// The shared 52-topology corpus lives in corpus.hpp.
+using rbpc::testing::TopoCase;
+using rbpc::testing::corpus;
 
 FailureMask random_edge_failures(const Graph& g, std::size_t k, Rng& rng) {
   FailureMask mask;
@@ -540,6 +507,27 @@ TEST(ThreadPoolTest, SubmittedTasksDrainBeforeDestruction) {
     }
   }  // destructor drains the queue
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitSurfacesWorkerExceptions) {
+  // One worker makes the queue FIFO: once the sentinel task has run, the
+  // throwing task before it has certainly finished.
+  ThreadPool pool(1);
+  pool.submit([] { require(false, "boom from submitted task"); });
+  std::atomic<bool> sentinel{false};
+  pool.submit([&] { sentinel.store(true); });
+  while (!sentinel.load()) std::this_thread::yield();
+
+  EXPECT_TRUE(pool.has_error());
+  EXPECT_THROW(pool.rethrow_first_error(), PreconditionError);
+  // Rethrowing consumes the error; the pool survives and keeps working.
+  EXPECT_FALSE(pool.has_error());
+  pool.rethrow_first_error();  // no error left: must not throw
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.submit([&] { count.fetch_add(1); });
+  while (count.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 2);
 }
 
 TEST(ThreadPoolTest, SizeAndDefaults) {

@@ -11,6 +11,8 @@
 // repaired tree being indistinguishable from a from-scratch run.
 #include <gtest/gtest.h>
 
+#include "corpus.hpp"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,45 +37,9 @@ using graph::FailureMask;
 using graph::Graph;
 using graph::NodeId;
 
-// ---------------------------------------------------------------------------
-// Topology corpus: same 52 topologies as the batch differential harness.
-// ---------------------------------------------------------------------------
-
-struct TopoCase {
-  std::string name;
-  Graph g;
-};
-
-std::vector<TopoCase> corpus() {
-  std::vector<TopoCase> out;
-  out.push_back({"comb4", topo::make_comb(4).g});
-  out.push_back({"weighted_chain3", topo::make_weighted_chain(3).g});
-  out.push_back({"two_level_star12", topo::make_two_level_star(12).g});
-  out.push_back({"four_cycle", topo::make_four_cycle()});
-  out.push_back({"parallel_chain3", topo::make_parallel_chain(3).g});
-  out.push_back({"ring9", topo::make_ring(9)});
-  out.push_back({"grid4x5", topo::make_grid(4, 5)});
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(1000 + seed);
-    const std::size_t n = 12 + 2 * static_cast<std::size_t>(seed);
-    out.push_back({"mesh" + std::to_string(seed),
-                   topo::make_random_connected(n, n + n / 2 + 4, rng, 9)});
-  }
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(2000 + seed);
-    out.push_back({"waxman" + std::to_string(seed),
-                   topo::make_waxman(18 + static_cast<std::size_t>(seed),
-                                     0.4, 0.35, rng)});
-  }
-  for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(3000 + seed);
-    out.push_back(
-        {"ba" + std::to_string(seed),
-         topo::make_barabasi_albert(16 + static_cast<std::size_t>(seed), 2,
-                                    0.3, rng, 0.4)});
-  }
-  return out;
-}
+// The shared 52-topology corpus lives in corpus.hpp.
+using rbpc::testing::TopoCase;
+using rbpc::testing::corpus;
 
 FailureMask random_edge_failures(const Graph& g, std::size_t k, Rng& rng) {
   FailureMask mask;

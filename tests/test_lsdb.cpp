@@ -66,6 +66,67 @@ TEST(EventQueue, RejectsPastScheduling) {
   EXPECT_THROW(q.schedule(-1.0, [] {}), PreconditionError);
 }
 
+TEST(EventQueue, RejectsNaNDelays) {
+  // A NaN delay would silently corrupt the heap (NaN compares false against
+  // everything), so both entry points must refuse it up front.
+  EventQueue q;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(q.schedule(nan, [] {}), PreconditionError);
+  EXPECT_THROW(q.schedule_at(nan, [] {}), PreconditionError);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelDiscardsPendingEvent) {
+  EventQueue q;
+  int fired = 0;
+  const auto keep = q.schedule(1.0, [&] { ++fired; });
+  const auto drop = q.schedule(2.0, [&] { fired += 100; });
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_TRUE(q.cancel(drop));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.cancelled_pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  // The clock must not have advanced to the cancelled event's time.
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.cancelled_pending(), 0u);
+  (void)keep;
+}
+
+TEST(EventQueue, CancelIsSingleShot) {
+  EventQueue q;
+  const auto tok = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(tok));
+  EXPECT_FALSE(q.cancel(tok));  // double cancel
+  q.run_all();
+
+  const auto fired = q.schedule(1.0, [] {});
+  q.run_all();
+  EXPECT_FALSE(q.cancel(fired));  // already fired
+  EXPECT_FALSE(q.cancel(99999));  // never existed
+}
+
+TEST(Lsdb, GenerationsSuppressDuplicatesAndStaleLsas) {
+  Lsdb db;
+  EXPECT_TRUE(db.apply(LinkEvent{3, /*up=*/false, /*generation=*/2}));
+  EXPECT_TRUE(db.knows_down(3));
+  EXPECT_EQ(db.applied_generation(3), 2u);
+
+  // A re-flooded copy of the same generation is discarded.
+  EXPECT_FALSE(db.apply(LinkEvent{3, /*up=*/false, /*generation=*/2}));
+  EXPECT_EQ(db.duplicates_discarded(), 1u);
+
+  // A reordered older LSA must not roll the view back.
+  EXPECT_FALSE(db.apply(LinkEvent{3, /*up=*/true, /*generation=*/1}));
+  EXPECT_TRUE(db.knows_down(3));
+  EXPECT_EQ(db.stale_discarded(), 1u);
+
+  // Newer generations win.
+  EXPECT_TRUE(db.apply(LinkEvent{3, /*up=*/true, /*generation=*/5}));
+  EXPECT_FALSE(db.knows_down(3));
+  EXPECT_EQ(db.applied_generation(3), 5u);
+}
+
 TEST(Lsdb, ViewTracksEvents) {
   Lsdb db;
   EXPECT_FALSE(db.knows_down(3));
