@@ -1,0 +1,291 @@
+// Service churn bench: flap storms against the always-on restoration
+// service, with the post-storm quiescence invariants as a red/green gate.
+//
+// Takes the N largest corpus topologies (by edge count — the same 54-case
+// corpus the differential suites sweep), plans a chaos-seeded flap storm on
+// each (lost / jittered / duplicated LSA deliveries, per-edge generations,
+// closing refresh epoch), and feeds the deliveries to a RestorationService
+// from several concurrent ingest threads while its worker pool reroutes.
+// After quiesce() the run verifies, per storm:
+//
+//   1. view == truth: every edge's failed bit and generation in the service
+//      LSDB match the storm's ground truth;
+//   2. bit-identical tables: every demand's route (backup path AND greedy
+//      decomposition) equals a serial source-RBPC replay of the final mask;
+//   3. accounting: LSAs applied + discarded == deliveries ingested, and
+//      no reroute is still in flight.
+//
+// Any violation makes the bench exit 1 — CI runs a short storm and treats
+// violations as a red build, so this doubles as the concurrency regression
+// gate for the service.
+//
+// Throughput is reported as reroutes/sec over the churn window (ingest
+// start -> quiescence) and published as the svc.reroutes_per_sec gauge;
+// per-reroute restoration latency (p50/p99, microseconds) comes from the
+// svc.restore.latency histogram the service records internally. Both land
+// in the --metrics-json scrape (BENCH_service.json in CI).
+//
+// Human-readable narration goes to stderr; stdout carries only artifacts
+// explicitly requested with "-" (see bench_obs.hpp).
+//
+// Flags: --seed N            base seed (default 1)
+//        --topos N           largest corpus topologies to run (default 6)
+//        --storms N          storms per topology (default 3)
+//        --events N          transitions per storm (default 24)
+//        --demands N         demands per service (default 32)
+//        --ingest-threads N  concurrent ingest threads (default 2)
+//        --workers N         reroute workers (default 0 = hardware)
+//        --shards N          LSDB shards (default 4)
+//        --queue N           MPMC queue capacity (default 64)
+//        --loss P            LSA loss probability (default 0.1)
+//        --metrics-json PATH, --trace-out PATH, --obs-check LIST
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_obs.hpp"
+#include "chaos/storm.hpp"
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "corpus.hpp"
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "service/service.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using service::Demand;
+using service::RestorationService;
+using service::ServiceOptions;
+using service::ServiceStats;
+using testing::TopoCase;
+
+std::vector<Demand> random_demands(const Graph& g, std::size_t count,
+                                   Rng& rng) {
+  std::vector<Demand> demands;
+  while (demands.size() < count) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    demands.push_back(Demand{s, t});
+  }
+  return demands;
+}
+
+/// The ground truth: a serial source-RBPC restoration of every demand
+/// against the final mask — the state the service must reach exactly.
+std::vector<core::Restoration> serial_replay(const Graph& g,
+                                             spf::Metric metric,
+                                             const std::vector<Demand>& demands,
+                                             const FailureMask& mask) {
+  spf::DistanceOracle oracle(g, FailureMask{}, metric);
+  core::CanonicalBaseSet base(oracle);
+  std::vector<core::Restoration> out;
+  out.reserve(demands.size());
+  for (const Demand& d : demands) {
+    out.push_back(core::source_rbpc_restore(base, d.src, d.dst, mask));
+  }
+  return out;
+}
+
+/// Checks the three post-storm invariants; reports each violation on stderr
+/// and returns how many fired.
+std::size_t check_invariants(const RestorationService& svc,
+                             const chaos::Storm& storm,
+                             const std::vector<Demand>& demands,
+                             spf::Metric metric, const std::string& context) {
+  std::size_t violations = 0;
+  const auto fail = [&](const std::string& what) {
+    std::cerr << "VIOLATION (" << context << "): " << what << "\n";
+    ++violations;
+  };
+
+  const Graph& g = svc.graph();
+  const FailureMask truth = storm.final_mask();
+  const std::vector<std::uint64_t> gens =
+      storm.final_generations(g.num_edges());
+  const service::ShardedLsdb::Snapshot view = svc.lsdb().snapshot();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (view.edge_failed(e) != truth.edge_failed(e)) {
+      fail("view != truth for edge " + std::to_string(e));
+    }
+    if (view.generation(e) != gens[e]) {
+      fail("generation mismatch for edge " + std::to_string(e));
+    }
+  }
+
+  const std::vector<core::Restoration> want =
+      serial_replay(g, metric, demands, truth);
+  const std::vector<core::Restoration> got = svc.routes();
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    if (!(want[d].backup == got[d].backup)) {
+      fail("demand " + std::to_string(d) + ": backup differs from replay");
+    } else if (!(want[d].decomposition == got[d].decomposition)) {
+      fail("demand " + std::to_string(d) + ": decomposition differs");
+    }
+  }
+
+  const ServiceStats stats = svc.stats();
+  if (stats.events_applied + stats.events_discarded !=
+      storm.deliveries.size()) {
+    fail("LSA accounting: applied " + std::to_string(stats.events_applied) +
+         " + discarded " + std::to_string(stats.events_discarded) +
+         " != deliveries " + std::to_string(storm.deliveries.size()));
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  const CliArgs args(argc, argv);
+  const std::uint64_t base_seed = args.get_uint("seed", 1);
+  const std::size_t topos = args.get_uint("topos", 6);
+  const std::size_t storms = args.get_uint("storms", 3);
+  const std::size_t events = args.get_uint("events", 24);
+  const std::size_t num_demands = args.get_uint("demands", 32);
+  const std::size_t ingest_threads =
+      std::max<std::size_t>(1, args.get_uint("ingest-threads", 2));
+  const std::size_t workers = args.get_uint("workers", 0);
+  const std::size_t shards = args.get_uint("shards", 4);
+  const std::size_t queue = args.get_uint("queue", 64);
+  const double loss = args.get_double("loss", 0.1);
+  const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
+
+  // Largest topologies first: those are where hub fan-out and path length
+  // make concurrent reroutes expensive enough to race for real.
+  std::vector<TopoCase> cases = testing::corpus();
+  std::stable_sort(cases.begin(), cases.end(),
+                   [](const TopoCase& a, const TopoCase& b) {
+                     return a.g.num_edges() > b.g.num_edges();
+                   });
+  if (cases.size() > topos) cases.resize(topos);
+
+  chaos::StormConfig config;
+  config.events = events;
+  config.faults.lsa_loss = loss;
+  config.faults.lsa_jitter = 4.0;
+  config.faults.lsa_dup = 0.1;
+  config.faults.miss_detect = loss / 2;
+  config.faults.flap_count = 1;
+
+  std::cerr << "service churn: " << cases.size() << " topologies x " << storms
+            << " storms, " << events << " transitions per storm, "
+            << num_demands << " demands, " << ingest_threads
+            << " ingest threads\n\n";
+
+  TablePrinter table({"topology", "nodes", "edges", "deliveries", "reroutes",
+                      "installs", "revalidated", "deferred", "wall ms",
+                      "violations"});
+  std::size_t total_violations = 0;
+  std::uint64_t total_reroutes = 0;
+  std::uint64_t total_wall_ns = 0;
+
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Graph& g = cases[ci].g;
+    std::size_t deliveries = 0, violations = 0;
+    std::uint64_t reroutes = 0, installs = 0, revalidated = 0, deferred = 0;
+    std::uint64_t wall_ns = 0;
+
+    for (std::size_t s = 0; s < storms; ++s) {
+      Rng rng(base_seed * 1'000'000 + ci * 1'000 + s);
+      const std::vector<Demand> demands =
+          random_demands(g, num_demands, rng);
+      const chaos::Storm storm = chaos::plan_storm(g, config, rng);
+      deliveries += storm.deliveries.size();
+
+      ServiceOptions options;
+      options.shards = shards;
+      options.workers = workers;
+      options.queue_capacity = queue;
+      RestorationService svc(g, demands, options);
+
+      // The churn window: concurrent striped ingest through quiescence.
+      const auto t0 = std::chrono::steady_clock::now();
+      {
+        std::vector<std::thread> threads;
+        threads.reserve(ingest_threads);
+        for (std::size_t t = 0; t < ingest_threads; ++t) {
+          threads.emplace_back([&, t] {
+            for (std::size_t i = t; i < storm.deliveries.size();
+                 i += ingest_threads) {
+              svc.ingest(storm.deliveries[i].event);
+            }
+          });
+        }
+        for (std::thread& th : threads) th.join();
+      }
+      svc.quiesce();
+      wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+
+      violations += check_invariants(svc, storm, demands, options.metric,
+                                     cases[ci].name + " storm " +
+                                         std::to_string(s));
+      const ServiceStats stats = svc.stats();
+      reroutes += stats.reroutes;
+      installs += stats.installs;
+      revalidated += stats.revalidations;
+      deferred += stats.deferred;
+      svc.stop();
+    }
+
+    total_violations += violations;
+    total_reroutes += reroutes;
+    total_wall_ns += wall_ns;
+    table.add_row({cases[ci].name, std::to_string(g.num_nodes()),
+                   std::to_string(g.num_edges()), std::to_string(deliveries),
+                   std::to_string(reroutes), std::to_string(installs),
+                   std::to_string(revalidated), std::to_string(deferred),
+                   std::to_string(wall_ns / 1'000'000),
+                   std::to_string(violations)});
+  }
+
+  // Aggregate throughput over the churn windows, published as a gauge so it
+  // lands in the BENCH_service.json scrape next to the latency histogram.
+  const double secs = static_cast<double>(total_wall_ns) / 1e9;
+  const std::int64_t per_sec =
+      secs > 0.0
+          ? static_cast<std::int64_t>(static_cast<double>(total_reroutes) /
+                                      secs)
+          : 0;
+  obs::MetricsRegistry::global().gauge("svc.reroutes_per_sec").set(per_sec);
+
+  const LatencyHistogram latency =
+      obs::MetricsRegistry::global().histogram("svc.restore.latency")
+          .snapshot();
+  std::cerr << "\n" << table.to_text() << "\n"
+            << "reroutes/sec (churn window): " << per_sec << "\n"
+            << "restore latency us: p50 " << latency.quantile(0.5) << ", p99 "
+            << latency.quantile(0.99) << " (" << latency.count()
+            << " reroutes)\n";
+
+  int rc = obs_cli.finish();
+  if (total_violations > 0) {
+    std::cerr << "service churn FAILED: " << total_violations
+              << " invariant violations\n";
+    rc = 1;
+  } else {
+    std::cerr << "service churn clean: zero invariant violations\n";
+  }
+  return rc;
+}

@@ -39,6 +39,11 @@ struct Decomposition {
 
   /// Re-concatenates the pieces into one route.
   graph::Path joined() const;
+
+  /// Structural equality (piece paths and base flags) — what "bit-identical
+  /// restoration" means in the service equivalence tests.
+  friend bool operator==(const Decomposition& a,
+                         const Decomposition& b) = default;
 };
 
 /// Covers `route` exactly by base paths + loose edges. Preconditions:

@@ -1,0 +1,87 @@
+#include "service/epoch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rbpc::service {
+
+EpochManager::Guard EpochManager::pin() {
+  // Claim a free slot, then publish the pinned epoch into it. The claim
+  // and the pin are one CAS: 0 -> current epoch. If the global epoch
+  // advances between the load and the CAS we pin an *older* epoch, which
+  // only blocks more reclamation — conservative, never unsafe.
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    std::uint64_t expected = 0;
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    if (slots_[i].epoch.compare_exchange_strong(expected, epoch,
+                                                std::memory_order_seq_cst)) {
+      return Guard(this, i, epoch);
+    }
+  }
+  throw PreconditionError(
+      "EpochManager::pin: more than kMaxReaders concurrent readers");
+}
+
+void EpochManager::Guard::release() {
+  if (mgr_ == nullptr) return;
+  mgr_->unpin(slot_);
+  mgr_ = nullptr;
+}
+
+void EpochManager::unpin(std::size_t slot) {
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+std::uint64_t EpochManager::min_pinned() const {
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0) min = std::min(min, e);
+  }
+  return min;
+}
+
+void EpochManager::retire(std::shared_ptr<const void> obj) {
+  // Retire under the epoch in effect *before* the advance: every reader
+  // that could have loaded the object pinned an epoch <= this one.
+  const std::uint64_t epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(Retired{std::move(obj), epoch});
+  }
+  try_reclaim();
+}
+
+std::size_t EpochManager::try_reclaim() {
+  // Destruction must happen outside the limbo lock: a retired object's
+  // destructor may itself retire (chained snapshots), and re-entering
+  // retire() -> try_reclaim() would deadlock on limbo_mu_.
+  std::vector<Retired> reclaimable;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    if (limbo_.empty()) return 0;
+    const std::uint64_t min = min_pinned();
+    auto keep = limbo_.begin();
+    for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+      if (it->epoch < min) {
+        reclaimable.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    limbo_.erase(keep, limbo_.end());
+  }
+  reclaimed_.fetch_add(reclaimable.size(), std::memory_order_relaxed);
+  return reclaimable.size();
+}
+
+std::size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace rbpc::service

@@ -1,0 +1,306 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/decompose.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+// Why the quiescent state is a pure function of the final failure mask
+// (the property tests/test_service.cpp checks against a serial replay):
+//
+// Every install stamps the demand with the snapshot version it was computed
+// against, and the worker re-enqueues the demand when the LSDB moved past
+// that version during the computation (the *revalidation* step). Both the
+// affected-demand scan (under routes_mu_, after the LSDB version bump) and
+// the install + version re-read (install under routes_mu_, version read
+// after the unlock) are ordered through the same mutex, so for any
+// event/reroute race at least one side sees the other: either the scan
+// observes the freshly installed route, or the worker observes the bumped
+// version and re-enqueues. No demand can end up stale without a pending
+// task recording that fact.
+//
+// At quiescence (queue drained, nothing in flight) each demand's last
+// reroute therefore ran against a snapshot no event after which affected
+// it. Affected-selection is conservative-exact for the canonical recipe:
+//
+//  * a DOWN of edge e reroutes exactly the demands whose current route
+//    uses e. A canonical (padded, hence unique) shortest route that avoids
+//    e stays the canonical shortest when e fails — removing edges never
+//    shortens any path and never changes the padded comparison among
+//    surviving ones.
+//  * an UP reroutes the *dirty* demands (route != unfailed baseline). A
+//    clean demand sits on its unfailed-canonical route, which is canonical-
+//    shortest under every mask it survives; failing to reroute it is
+//    correct. A dirty demand is always reconsidered, so recoveries that
+//    re-enable a shorter (or any) route are picked up.
+//
+// Induction over the post-quiescence event suffix of each demand's last
+// snapshot: none of those events changed the demand's canonical route, so
+// the installed route equals source_rbpc_restore under the final mask —
+// and greedy decomposition over the canonical base set is a deterministic
+// function of the route, so the whole Restoration matches bit for bit.
+namespace rbpc::service {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::NodeId;
+
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+RestorationService::RestorationService(const graph::Graph& g,
+                                       std::vector<Demand> demands,
+                                       ServiceOptions options)
+    : g_(g),
+      options_(options),
+      lsdb_(g.num_edges(), options.shards),
+      pool_(g, spf::SpfOptions{.metric = options.metric, .padded = true},
+            spf::TreePoolOptions{.max_views = options.max_views}),
+      oracle_(g, FailureMask{}, options.metric),
+      base_(oracle_),
+      edge_demands_(g.num_edges()),
+      queue_(options.queue_capacity),
+      pool_threads_(options.workers) {
+  for (const Demand& d : demands) {
+    require(d.src < g.num_nodes() && d.dst < g.num_nodes(),
+            "RestorationService: demand endpoint out of range");
+    require(d.src != d.dst, "RestorationService: demand source == target");
+    demands_.emplace_back();
+    demands_.back().src = d.src;
+    demands_.back().dst = d.dst;
+  }
+
+  // Provision the baselines (the unfailed-network canonical routes) before
+  // any worker exists: this is the state the service starts serving from.
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    DemandState& st = demands_[i];
+    core::Restoration r;
+    auto tree = pool_.base().tree(st.src);
+    if (tree->reachable(st.dst)) {
+      r.backup = tree->path_to(g_, st.dst);
+      r.decomposition = core::greedy_decompose(base_, r.backup);
+    }
+    st.baseline = r;
+    st.route = std::move(r);
+    st.dirty = false;
+    if (!st.route.restored()) ++no_route_count_;
+    for (const EdgeId e : st.route.backup.edges()) {
+      edge_demands_[e].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  for (std::size_t w = 0; w < pool_threads_.size(); ++w) {
+    pool_threads_.submit([this] { worker_loop(); });
+  }
+}
+
+RestorationService::~RestorationService() { stop(); }
+
+void RestorationService::stop() {
+  stopping_.store(true, std::memory_order_seq_cst);
+}
+
+bool RestorationService::ingest(const lsdb::LinkEvent& ev) {
+  RBPC_TRACE_SPAN("svc.ingest");
+  static obs::Counter applied_c = registry().counter("svc.lsa.applied");
+  static obs::Counter discarded_c = registry().counter("svc.lsa.discarded");
+  if (!lsdb_.apply(ev)) {
+    discarded_c.inc();
+    return false;
+  }
+  applied_c.inc();
+
+  std::vector<std::size_t> affected;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    if (!ev.up) {
+      for (const std::uint32_t d : edge_demands_[ev.edge]) {
+        affected.push_back(d);
+      }
+    } else {
+      for (std::size_t d = 0; d < demands_.size(); ++d) {
+        if (demands_[d].dirty) affected.push_back(d);
+      }
+    }
+  }
+  for (const std::size_t d : affected) enqueue_demand(d);
+  return true;
+}
+
+void RestorationService::enqueue_demand(std::size_t d) {
+  bool expected = false;
+  if (!demands_[d].queued.compare_exchange_strong(expected, true,
+                                                  std::memory_order_seq_cst)) {
+    return;  // already pending; its task will snapshot fresh state
+  }
+  inflight_.fetch_add(1, std::memory_order_seq_cst);
+  if (!queue_.push(d)) {
+    // Overload: the ladder's stale-FEC rung. The route stays as it is and
+    // the demand waits in the deferred set until the queue has room.
+    static obs::Counter deferred_c = registry().counter("svc.deferred");
+    deferred_c.inc();
+    deferred_count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    deferred_.push_back(d);
+  }
+}
+
+void RestorationService::drain_deferred() {
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  while (!deferred_.empty()) {
+    if (!queue_.push(deferred_.back())) break;
+    deferred_.pop_back();
+  }
+}
+
+void RestorationService::worker_loop() {
+  std::size_t d = 0;
+  for (;;) {
+    if (queue_.pop(d)) {
+      run_reroute(d);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_seq_cst)) return;
+    drain_deferred();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void RestorationService::run_reroute(std::size_t d) {
+  RBPC_TRACE_SPAN("svc.reroute");
+  static obs::Histogram latency = registry().histogram("svc.restore.latency");
+  static obs::Counter reroutes_c = registry().counter("svc.reroutes");
+  const std::uint64_t t0 = obs::now_ns();
+
+  DemandState& st = demands_[d];
+  // Balance the pending count even if the reroute throws, or quiesce()
+  // would spin forever waiting on a task that already died.
+  struct InflightGuard {
+    std::atomic<std::size_t>& n;
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{inflight_};
+
+  // Clear the dedup flag *before* snapshotting: an event applied after the
+  // snapshot re-enqueues the demand rather than being swallowed.
+  st.queued.store(false, std::memory_order_seq_cst);
+
+  ShardedLsdb::Snapshot snap = lsdb_.snapshot();
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t v = snap.version();
+  const FailureMask mask = snap.to_mask();
+
+  core::Restoration r;
+  std::shared_ptr<spf::TreeCache> view;  // keeps an evicted view alive
+  std::shared_ptr<const spf::ShortestPathTree> tree;
+  {
+    RBPC_TRACE_SPAN("svc.spf");
+    if (mask.empty()) {
+      tree = pool_.base().tree(st.src);
+    } else {
+      view = pool_.cache_for(mask);
+      tree = view->tree(st.src);
+    }
+  }
+  if (tree->reachable(st.dst)) {
+    r.backup = tree->path_to(g_, st.dst);
+    RBPC_TRACE_SPAN("svc.decompose");
+    std::lock_guard<std::mutex> lock(base_mu_);
+    r.decomposition = core::greedy_decompose(base_, r.backup);
+  }
+
+  if (install(d, std::move(r), v)) {
+    installs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  reroutes_.fetch_add(1, std::memory_order_relaxed);
+  reroutes_c.inc();
+  latency.record((obs::now_ns() - t0) / 1000);
+
+  // Revalidation: events applied during the computation may not have seen
+  // the route we just installed when they scanned for affected demands.
+  // Any version movement past our snapshot re-queues the demand; the rerun
+  // snapshots fresh state and usually installs the identical route.
+  if (lsdb_.version() != v) {
+    static obs::Counter reval_c = registry().counter("svc.revalidations");
+    reval_c.inc();
+    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_demand(d);
+  }
+}
+
+bool RestorationService::install(std::size_t d, core::Restoration r,
+                                 std::uint64_t stamp) {
+  DemandState& st = demands_[d];
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  if (stamp < st.stamp) return false;  // a newer concurrent install won
+  st.stamp = stamp;
+  const bool changed = !(r.backup == st.route.backup);
+  if (changed) {
+    for (const EdgeId e : st.route.backup.edges()) {
+      std::erase(edge_demands_[e], static_cast<std::uint32_t>(d));
+    }
+    for (const EdgeId e : r.backup.edges()) {
+      edge_demands_[e].push_back(static_cast<std::uint32_t>(d));
+    }
+    if (st.route.restored() && !r.restored()) ++no_route_count_;
+    if (!st.route.restored() && r.restored()) --no_route_count_;
+    st.route = std::move(r);
+    st.dirty = !(st.route.backup == st.baseline.backup);
+  }
+  return changed;
+}
+
+void RestorationService::quiesce() {
+  for (;;) {
+    // Surface a worker exception instead of waiting on work it dropped.
+    pool_threads_.rethrow_first_error();
+    drain_deferred();
+    if (inflight_.load(std::memory_order_seq_cst) == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+core::Restoration RestorationService::route(std::size_t demand) const {
+  require(demand < demands_.size(), "RestorationService::route: bad demand");
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  return demands_[demand].route;
+}
+
+std::vector<core::Restoration> RestorationService::routes() const {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  std::vector<core::Restoration> out;
+  out.reserve(demands_.size());
+  for (const DemandState& st : demands_) out.push_back(st.route);
+  return out;
+}
+
+bool RestorationService::dirty(std::size_t demand) const {
+  require(demand < demands_.size(), "RestorationService::dirty: bad demand");
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  return demands_[demand].dirty;
+}
+
+ServiceStats RestorationService::stats() const {
+  ServiceStats s;
+  s.events_applied = lsdb_.version();
+  s.events_discarded =
+      lsdb_.duplicates_discarded() + lsdb_.stale_discarded();
+  s.reroutes = reroutes_.load(std::memory_order_relaxed);
+  s.installs = installs_.load(std::memory_order_relaxed);
+  s.revalidations = revalidations_.load(std::memory_order_relaxed);
+  s.deferred = deferred_count_.load(std::memory_order_relaxed);
+  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    s.no_route = no_route_count_;
+  }
+  return s;
+}
+
+}  // namespace rbpc::service

@@ -1,0 +1,183 @@
+// RestorationService: the always-on form of the restoration pipeline.
+//
+// The drill engines (core/drill, chaos/chaos_drill) are stop-the-world: a
+// failure arrives, the controller reroutes everything, the world resumes.
+// This service instead runs continuously — LSAs stream in (ingest, any
+// thread), reroutes run concurrently on a worker pool, and readers observe
+// the current FEC table at any time. Three pieces make that safe:
+//
+//  * a sharded, generation-numbered LSDB with epoch-pinned snapshot reads
+//    (sharded_lsdb.hpp): ingest never blocks reroutes, reroutes never block
+//    ingest;
+//  * a bounded lock-free MPMC queue (mpmc_queue.hpp) of demand ids feeding
+//    long-running consumers on the existing ThreadPool; when the queue is
+//    full the demand falls to a deferred set instead of being dropped —
+//    the PR-4 degradation ladder's "retain stale FEC, catch up later" rung
+//    (the earlier rungs are structural here: incremental tree repair via
+//    SnapshotTreePool, scratch SPF when the pool evicted the view, and an
+//    explicit empty route when the destination is unreachable);
+//  * a revalidation loop closing the ingest/reroute race: a worker that
+//    installed a route computed against snapshot version v re-enqueues its
+//    demand when the LSDB moved past v meanwhile. Together with
+//    affected-demand selection this makes the quiescent state a pure
+//    function of the final failure mask (see service.cpp for the argument),
+//    which is what tests/test_service.cpp's equivalence harness checks
+//    bit-for-bit against a serial replay.
+//
+// Routes follow the pinned source-RBPC recipe (canonical padded shortest
+// path + greedy decomposition over the canonical base set), so at
+// quiescence every demand's route equals source_rbpc_restore(base, s, t,
+// final_mask) exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "graph/graph.hpp"
+#include "lsdb/lsdb.hpp"
+#include "service/mpmc_queue.hpp"
+#include "service/sharded_lsdb.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+#include "spf/tree_pool.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rbpc::service {
+
+/// One long-lived src -> dst LSP the service keeps restored.
+struct Demand {
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+};
+
+struct ServiceOptions {
+  std::size_t shards = 4;          ///< LSDB shards (clamped to edge count)
+  std::size_t workers = 0;         ///< reroute workers; 0 = hardware default
+  std::size_t queue_capacity = 256;///< MPMC ring size (rounded up to 2^k)
+  spf::Metric metric = spf::Metric::Hops;
+  std::size_t max_views = 8;       ///< SnapshotTreePool LRU bound
+};
+
+/// Point-in-time service counters (exact once quiesced).
+struct ServiceStats {
+  std::uint64_t events_applied = 0;
+  std::uint64_t events_discarded = 0;  ///< duplicate + stale LSAs
+  std::uint64_t reroutes = 0;          ///< reroute tasks run
+  std::uint64_t installs = 0;          ///< installs that changed the route
+  std::uint64_t revalidations = 0;     ///< re-enqueues after a version race
+  std::uint64_t deferred = 0;          ///< queue-full degradations
+  std::uint64_t no_route = 0;          ///< demands currently unrestorable
+  std::uint64_t snapshots = 0;         ///< LSDB snapshots taken by workers
+};
+
+class RestorationService {
+ public:
+  /// Computes every demand's baseline (unfailed-network) route before
+  /// returning, so the service starts from the provisioned state. Throws
+  /// PreconditionError on out-of-range demand endpoints.
+  RestorationService(const graph::Graph& g, std::vector<Demand> demands,
+                     ServiceOptions options = {});
+  /// stop()s implicitly.
+  ~RestorationService();
+
+  RestorationService(const RestorationService&) = delete;
+  RestorationService& operator=(const RestorationService&) = delete;
+
+  const graph::Graph& graph() const { return g_; }
+  std::size_t num_demands() const { return demands_.size(); }
+  const ShardedLsdb& lsdb() const { return lsdb_; }
+  const spf::SnapshotTreePool& tree_pool() const { return pool_; }
+
+  /// Feeds one LSA (thread-safe, any number of concurrent ingest threads).
+  /// Applies it to the LSDB and enqueues the affected demands. Returns
+  /// whether the LSDB accepted the event (false = duplicate/stale).
+  bool ingest(const lsdb::LinkEvent& ev);
+
+  /// Blocks until every pending and in-flight reroute (including
+  /// revalidation re-runs and deferred demands) completed. After quiesce()
+  /// with no concurrent ingest, routes() is the serial restoration of the
+  /// final mask. Callable repeatedly; not an end-of-life operation.
+  void quiesce();
+
+  /// Stops the workers (drains nothing — call quiesce() first when the
+  /// final state matters). Idempotent; ingest after stop still updates the
+  /// LSDB but reroutes stay queued forever.
+  void stop();
+
+  /// The demand's current route (copy, taken under the install lock).
+  core::Restoration route(std::size_t demand) const;
+  /// All current routes, index-aligned with the demand vector.
+  std::vector<core::Restoration> routes() const;
+  /// True when the demand's current route differs from its unfailed
+  /// baseline (including "no route").
+  bool dirty(std::size_t demand) const;
+
+  ServiceStats stats() const;
+
+ private:
+  /// Per-demand state. Routes / dirty / stamp / reverse index are guarded
+  /// by routes_mu_; `queued` is the lock-free enqueue dedup flag.
+  struct DemandState {
+    graph::NodeId src = 0;
+    graph::NodeId dst = 0;
+    std::atomic<bool> queued{false};
+    core::Restoration baseline;  ///< unfailed-network route (immutable)
+    core::Restoration route;     ///< current route
+    bool dirty = false;          ///< route != baseline
+    std::uint64_t stamp = 0;     ///< snapshot version of the last install
+  };
+
+  void worker_loop();
+  /// Marks the demand pending and queues it (deferred set on overflow).
+  void enqueue_demand(std::size_t d);
+  /// Moves deferred demands into the queue while there is room.
+  void drain_deferred();
+  /// One reroute task: snapshot, compute, install, revalidate.
+  void run_reroute(std::size_t d);
+  /// Installs `r` for demand d (stamp = snapshot version); returns whether
+  /// the route changed. Caller must NOT hold routes_mu_.
+  bool install(std::size_t d, core::Restoration r, std::uint64_t stamp);
+
+  const graph::Graph& g_;
+  ServiceOptions options_;
+  ShardedLsdb lsdb_;
+  spf::SnapshotTreePool pool_;
+
+  /// Decomposition backend: membership oracles cache unfailed-network trees
+  /// and are not thread-safe, so greedy_decompose serializes on base_mu_ —
+  /// the same structure BatchRestorer uses.
+  spf::DistanceOracle oracle_;
+  core::CanonicalBaseSet base_;
+  std::mutex base_mu_;
+
+  std::deque<DemandState> demands_;  ///< deque: stable, atomics never move
+
+  mutable std::mutex routes_mu_;
+  /// Reverse index: demands whose *current* route uses each edge.
+  std::vector<std::vector<std::uint32_t>> edge_demands_;
+  std::size_t no_route_count_ = 0;
+
+  MpmcQueue<std::size_t> queue_;
+  std::mutex deferred_mu_;
+  std::vector<std::size_t> deferred_;
+  /// Demands pending (queued or deferred) plus reroutes mid-flight.
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> reroutes_{0};
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<std::uint64_t> revalidations_{0};
+  std::atomic<std::uint64_t> deferred_count_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+
+  ThreadPool pool_threads_;  ///< last member: workers die first
+};
+
+}  // namespace rbpc::service

@@ -1,5 +1,7 @@
-// The shared 52-topology test corpus: the paper's gadgets plus three random
-// families (connected meshes, Waxman, Barabási–Albert) at fixed seeds.
+// The shared 54-topology test corpus: the paper's gadgets, two structural
+// stress shapes (a high-degree hub, a long-diameter ladder) plus three
+// random families (connected meshes, Waxman, Barabási–Albert) at fixed
+// seeds.
 //
 // One definition, three consumers — the batch differential harness
 // (test_batch), the incremental-repair differential harness
@@ -24,9 +26,29 @@ struct TopoCase {
   graph::Graph g;
 };
 
+/// Wheel: hub 0 spoked to a 16-node rim ring. The hub has degree 16 —
+/// far above the random families' maxima — so hub-adjacent reroutes fan a
+/// single link event out across many demands, and every spoke is two-hop
+/// bypassable via the rim (2-edge-connected: all link failures restorable).
+inline graph::Graph make_wheel16() {
+  constexpr std::size_t kRim = 16;
+  graph::GraphBuilder b(kRim + 1);
+  for (std::size_t i = 0; i < kRim; ++i) {
+    const graph::NodeId rim = static_cast<graph::NodeId>(1 + i);
+    const graph::NodeId next = static_cast<graph::NodeId>(1 + (i + 1) % kRim);
+    b.add_edge(0, rim);
+    b.add_edge(rim, next);
+  }
+  return b.build();
+}
+
 inline std::vector<TopoCase> corpus() {
   std::vector<TopoCase> out;
   out.push_back({"comb4", topo::make_comb(4).g});
+  out.push_back({"wheel16", make_wheel16()});
+  // Long-diameter stress: a 2 x 16 ladder (diameter ~16, 2-edge-connected),
+  // the worst case for path-length-proportional work per reroute.
+  out.push_back({"ladder2x16", topo::make_grid(2, 16)});
   out.push_back({"weighted_chain3", topo::make_weighted_chain(3).g});
   out.push_back({"two_level_star12", topo::make_two_level_star(12).g});
   out.push_back({"four_cycle", topo::make_four_cycle()});

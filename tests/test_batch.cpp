@@ -48,7 +48,7 @@ using graph::Graph;
 using graph::NodeId;
 using graph::Path;
 
-// The shared 52-topology corpus lives in corpus.hpp.
+// The shared 54-topology corpus lives in corpus.hpp.
 using rbpc::testing::TopoCase;
 using rbpc::testing::corpus;
 
@@ -156,7 +156,7 @@ TEST(BatchDifferential, MatchesSerialLoopAcrossCorpusAndThreadCounts) {
       }
     }
   }
-  // 52 topologies x 2 metrics x up-to-4 k x 8 jobs x 3 thread counts.
+  // 54 topologies x 2 metrics x up-to-4 k x 8 jobs x 3 thread counts.
   EXPECT_GT(compared, 5000u);
 }
 

@@ -2,7 +2,7 @@
 // and convergence drills (src/chaos).
 //
 // The load-bearing suites are the drill matrices: seeded chaos drills over
-// the shared 52-topology corpus and over a seeds × loss × fault-shape
+// the shared 54-topology corpus and over a seeds × loss × fault-shape
 // matrix, asserting that during churn nothing crashes, every forwarding
 // loop is TTL-guarded (never delivered), and nothing is delivered across
 // truth-dead links — and that after quiescence the view has converged to

@@ -3,7 +3,7 @@
 //
 // The contract under test is strict: repair_tree must be *bit-identical* to
 // shortest_tree — same dist, same heap key, same hop count, same parent and
-// parent edge for every node — on a 52-topology corpus (paper gadgets +
+// parent edge for every node — on a 54-topology corpus (paper gadgets +
 // three random families), under both metrics, padded and plain, 1-4 edge
 // failures plus node failures, and on either side of the fallback
 // threshold. Equal cost is not enough: the batch engine's determinism
@@ -37,7 +37,7 @@ using graph::FailureMask;
 using graph::Graph;
 using graph::NodeId;
 
-// The shared 52-topology corpus lives in corpus.hpp.
+// The shared 54-topology corpus lives in corpus.hpp.
 using rbpc::testing::TopoCase;
 using rbpc::testing::corpus;
 

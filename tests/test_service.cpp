@@ -1,0 +1,708 @@
+// Concurrency test harness for the always-on restoration service
+// (src/service): epoch reclamation, the bounded MPMC queue, the sharded
+// LSDB, the thread-safe EventQueue cancel path, and the service itself.
+//
+// Two regimes, per the harness design:
+//
+//  * deterministic-mode equivalence — every corpus topology gets a seeded
+//    chaos storm (losses, jitter reordering, duplicates, flaps); the
+//    service ingests the perturbed stream, quiesces, and its FEC table
+//    must be *bit-identical* (backup path, decomposition pieces, piece
+//    kinds) to a serial source_rbpc_restore replay of the final mask. The
+//    interleaving-independence matrix re-runs fixed-seed storms across
+//    {1,2,8} workers x {1,4} shards and requires identical quiescent
+//    tables from every configuration.
+//
+//  * free-running stress — concurrent ingest threads, reroute workers and
+//    a scraping thread race without any schedule; chaos invariants are
+//    asserted during churn (snapshot versions monotone, readers never
+//    crash or see torn shard state) and after quiescence (view == truth,
+//    FEC table == serial replay).
+//
+// This file is built standalone (rbpc_add_test) so CI runs it under
+// ThreadSanitizer and ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include "corpus.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/storm.hpp"
+#include "core/base_set.hpp"
+#include "core/restoration.hpp"
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "lsdb/event_queue.hpp"
+#include "lsdb/lsdb.hpp"
+#include "service/epoch.hpp"
+#include "service/mpmc_queue.hpp"
+#include "service/service.hpp"
+#include "service/sharded_lsdb.hpp"
+#include "spf/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::service {
+namespace {
+
+using graph::EdgeId;
+using graph::FailureMask;
+using graph::Graph;
+using graph::NodeId;
+using rbpc::testing::TopoCase;
+using rbpc::testing::corpus;
+
+// ---------------------------------------------------------------------------
+// Epoch reclamation.
+// ---------------------------------------------------------------------------
+
+TEST(EpochReclamation, PinnedReaderBlocksReclaim) {
+  EpochManager mgr;
+  auto obj = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = obj;
+
+  EpochManager::Guard reader = mgr.pin();
+  mgr.retire(std::move(obj));
+  // The reader pinned an epoch <= the retire epoch: nothing reclaimable.
+  EXPECT_EQ(mgr.try_reclaim(), 0u);
+  EXPECT_EQ(mgr.limbo_size(), 1u);
+  EXPECT_FALSE(alive.expired());
+
+  reader.release();
+  EXPECT_EQ(mgr.try_reclaim(), 1u);
+  EXPECT_EQ(mgr.limbo_size(), 0u);
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(mgr.reclaimed(), 1u);
+}
+
+TEST(EpochReclamation, LateReaderDoesNotBlockEarlierRetire) {
+  EpochManager mgr;
+  auto obj = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = obj;
+  // retire() advances the epoch and reclaims opportunistically: with no
+  // reader pinned the object dies right away.
+  mgr.retire(std::move(obj));
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(mgr.reclaimed(), 1u);
+  // A reader pinning *after* the advance can never reach old objects and
+  // never blocks subsequent reclamation of pre-pin retirees.
+  EpochManager::Guard reader = mgr.pin();
+  auto obj2 = std::make_shared<int>(2);
+  std::weak_ptr<int> alive2 = obj2;
+  mgr.retire(std::move(obj2));
+  EXPECT_FALSE(alive2.expired()) << "reader pinned <= retire epoch";
+  reader.release();
+  EXPECT_EQ(mgr.try_reclaim(), 1u);
+  EXPECT_TRUE(alive2.expired());
+}
+
+TEST(EpochReclamation, GuardReleasesExactlyOnce) {
+  EpochManager mgr;
+  EpochManager::Guard g1 = mgr.pin();
+  const std::uint64_t pinned = g1.epoch();
+  EXPECT_TRUE(g1.active());
+  EXPECT_EQ(mgr.min_pinned(), pinned);
+
+  g1.release();
+  EXPECT_FALSE(g1.active());
+  EXPECT_EQ(mgr.min_pinned(), std::numeric_limits<std::uint64_t>::max());
+  g1.release();  // idempotent: must not free another reader's slot
+  EXPECT_EQ(mgr.min_pinned(), std::numeric_limits<std::uint64_t>::max());
+
+  // Moved-from guards are inert; the moved-to guard owns the single unpin.
+  EpochManager::Guard g2 = mgr.pin();
+  EpochManager::Guard g3 = std::move(g2);
+  EXPECT_FALSE(g2.active());  // NOLINT(bugprone-use-after-move): contract
+  EXPECT_TRUE(g3.active());
+  g2.release();  // releasing the husk must not unpin g3's slot
+  EXPECT_NE(mgr.min_pinned(), std::numeric_limits<std::uint64_t>::max());
+  g3.release();
+  EXPECT_EQ(mgr.min_pinned(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(EpochReclamation, ConcurrentPinRetireStress) {
+  EpochManager mgr;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  // Readers continuously pin/unpin; writers retire live objects. TSan
+  // verifies the slot CAS protocol; the weak_ptr sampling verifies no
+  // object dies while a guard taken before its retirement is live.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochManager::Guard g = mgr.pin();
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  constexpr int kRetires = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kRetires; ++i) {
+        mgr.retire(std::make_shared<int>(i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  // With every guard dropped, everything still in limbo is reclaimable.
+  mgr.retire(std::make_shared<int>(-1));
+  mgr.try_reclaim();
+  EXPECT_EQ(mgr.limbo_size(), 0u);
+  EXPECT_EQ(mgr.reclaimed(), static_cast<std::uint64_t>(2 * kRetires + 1));
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPMC queue.
+// ---------------------------------------------------------------------------
+
+TEST(MpmcQueue, CapacityAndFifoSingleThreaded) {
+  MpmcQueue<int> q(3);  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99)) << "push into a full queue must fail";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i) << "single-threaded order must be FIFO";
+  }
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(MpmcQueue, CloseRejectsPushesButDrains) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(MpmcQueue, ConcurrentFullEmptyRaces) {
+  // Small ring so both the full and the empty edge are hit constantly.
+  MpmcQueue<std::uint64_t> q(8);
+  constexpr std::uint64_t kPerProducer = 5000;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!q.push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  constexpr std::uint64_t kTotal = kPerProducer * kProducers;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (popped_count.load(std::memory_order_relaxed) < kTotal) {
+        if (q.pop(v)) {
+          popped_sum.fetch_add(v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(popped_count.load(), kTotal);
+  EXPECT_EQ(popped_sum.load(), kTotal * (kTotal - 1) / 2)
+      << "every pushed value must be popped exactly once";
+}
+
+TEST(MpmcQueue, ShutdownWithInflightProducers) {
+  MpmcQueue<int> q(16);
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<bool> closed{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      // Push until the queue is closed; a failed push on a *full* open
+      // queue retries, a failed push after close gives up.
+      while (!closed.load(std::memory_order_acquire)) {
+        if (q.push(1)) {
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        } else if (q.closed()) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // Let producers race the close.
+  std::uint64_t drained = 0;
+  int out = 0;
+  while (pushed.load(std::memory_order_relaxed) < 200) {
+    if (q.pop(out)) ++drained;
+  }
+  q.close();
+  closed.store(true, std::memory_order_release);
+  for (std::thread& t : producers) t.join();
+  // Post-join drain: exactly the successful pushes come back out.
+  while (q.pop(out)) ++drained;
+  EXPECT_EQ(drained, pushed.load());
+  EXPECT_FALSE(q.push(7)) << "closed queue must reject new work";
+}
+
+// ---------------------------------------------------------------------------
+// Sharded LSDB.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedLsdb, GenerationGatingMirrorsLsdb) {
+  // A perturbed event sequence (dups, stale reordering) must leave the
+  // sharded view, the classic Lsdb, and their discard counters identical —
+  // for any shard count.
+  constexpr std::size_t kEdges = 10;
+  Rng rng(77);
+  std::vector<lsdb::LinkEvent> events;
+  std::vector<std::uint64_t> gen(kEdges, 0);
+  for (int i = 0; i < 300; ++i) {
+    const EdgeId e = static_cast<EdgeId>(rng.below(kEdges));
+    lsdb::LinkEvent ev{e, rng.chance(0.5), 0};
+    const double kind = rng.uniform();
+    if (kind < 0.6) {
+      ev.generation = ++gen[e];           // fresh
+    } else if (kind < 0.8 && gen[e] > 0) {
+      ev.generation = gen[e];             // duplicate
+    } else if (gen[e] > 1) {
+      ev.generation = 1 + rng.below(gen[e] - 1);  // stale
+    } else {
+      ev.generation = ++gen[e];
+    }
+    events.push_back(ev);
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{16}}) {
+    lsdb::Lsdb reference;
+    ShardedLsdb sharded(kEdges, shards);
+    for (const lsdb::LinkEvent& ev : events) {
+      EXPECT_EQ(reference.apply(ev), sharded.apply(ev))
+          << "shards=" << shards << " edge=" << ev.edge
+          << " gen=" << ev.generation;
+    }
+    EXPECT_EQ(sharded.duplicates_discarded(), reference.duplicates_discarded());
+    EXPECT_EQ(sharded.stale_discarded(), reference.stale_discarded());
+    const ShardedLsdb::Snapshot snap = sharded.snapshot();
+    for (EdgeId e = 0; e < kEdges; ++e) {
+      EXPECT_EQ(snap.edge_failed(e), reference.knows_down(e))
+          << "shards=" << shards << " edge=" << e;
+      EXPECT_EQ(snap.generation(e), reference.applied_generation(e));
+    }
+  }
+}
+
+TEST(ShardedLsdb, SnapshotPinsBlockReclamationUntilDropped) {
+  ShardedLsdb db(4, 2);
+  ASSERT_TRUE(db.apply({0, false, 1}));
+  auto held = std::make_unique<ShardedLsdb::Snapshot>(db.snapshot());
+  EXPECT_FALSE(held->edge_failed(1));
+  // Writes behind the pinned snapshot park the old shard states in limbo.
+  ASSERT_TRUE(db.apply({1, false, 1}));
+  ASSERT_TRUE(db.apply({1, true, 2}));
+  EXPECT_GT(db.epochs().limbo_size(), 0u);
+  EXPECT_FALSE(held->edge_failed(1)) << "pinned snapshot must stay immutable";
+  EXPECT_EQ(held->version(), 1u);
+
+  held.reset();  // unpin
+  db.epochs().try_reclaim();
+  EXPECT_EQ(db.epochs().limbo_size(), 0u);
+  const ShardedLsdb::Snapshot fresh = db.snapshot();
+  EXPECT_TRUE(fresh.edge_failed(0));
+  EXPECT_FALSE(fresh.edge_failed(1));
+  EXPECT_EQ(fresh.version(), 3u);
+}
+
+TEST(ShardedLsdb, ConcurrentApplySnapshotStress) {
+  constexpr std::size_t kEdges = 32;
+  ShardedLsdb db(kEdges, 4);
+  std::atomic<bool> stop{false};
+
+  // Writers: disjoint edge ranges so per-edge generations stay monotone.
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t g = 1; g <= 400; ++g) {
+        for (std::size_t e = static_cast<std::size_t>(w) * kEdges / 2;
+             e < static_cast<std::size_t>(w + 1) * kEdges / 2; ++e) {
+          db.apply({static_cast<EdgeId>(e), g % 2 == 0, g});
+        }
+      }
+    });
+  }
+  // Readers: versions must be monotone, generations never regress within
+  // one snapshot relative to an earlier snapshot of the same thread.
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      std::vector<std::uint64_t> last_gen(kEdges, 0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ShardedLsdb::Snapshot snap = db.snapshot();
+        const std::uint64_t v = snap.version();
+        ASSERT_GE(v, last_version) << "snapshot versions must be monotone";
+        last_version = v;
+        for (EdgeId e = 0; e < kEdges; ++e) {
+          const std::uint64_t g = snap.generation(e);
+          ASSERT_GE(g, last_gen[e]) << "edge generation went backwards";
+          last_gen[e] = g;
+        }
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 2; i < threads.size(); ++i) threads[i].join();
+
+  const ShardedLsdb::Snapshot final_snap = db.snapshot();
+  EXPECT_EQ(final_snap.version(), static_cast<std::uint64_t>(400 * kEdges));
+  for (EdgeId e = 0; e < kEdges; ++e) {
+    EXPECT_EQ(final_snap.generation(e), 400u);
+    EXPECT_FALSE(final_snap.edge_failed(e));  // generation 400 is an up
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: concurrent cancel vs fire.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueRace, CancelAndFireAreExclusive) {
+  // The regression this pins down: cancel() used to mutate the live set
+  // unsynchronized with step(), so a token could be "successfully"
+  // cancelled after its callback started (or corrupt the sets outright).
+  // Contract now: cancel() == true  <=>  the callback never runs.
+  constexpr int kEvents = 2000;
+  lsdb::EventQueue q;
+  std::vector<std::atomic<char>> fired(kEvents);
+  for (auto& f : fired) f.store(0, std::memory_order_relaxed);
+  std::vector<lsdb::EventToken> tokens;
+  tokens.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    tokens.push_back(q.schedule(static_cast<double>(i % 7), [&fired, i] {
+      fired[i].store(1, std::memory_order_relaxed);
+    }));
+  }
+
+  std::vector<std::atomic<char>> cancelled(kEvents);
+  for (auto& c : cancelled) c.store(0, std::memory_order_relaxed);
+  std::thread runner([&] { q.run_all(); });
+  std::vector<std::thread> cancellers;
+  for (int c = 0; c < 3; ++c) {
+    cancellers.emplace_back([&, c] {
+      // Each canceller sweeps a stride of tokens while the runner drains.
+      for (int i = c; i < kEvents; i += 3) {
+        if (q.cancel(tokens[i])) {
+          cancelled[i].store(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : cancellers) t.join();
+  runner.join();
+  q.run_all();  // events cancelled after the first drain finished: none left
+
+  int fired_count = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const bool f = fired[i].load(std::memory_order_relaxed) != 0;
+    const bool k = cancelled[i].load(std::memory_order_relaxed) != 0;
+    EXPECT_NE(f, k) << "event " << i
+                    << (f && k ? " both fired and cancelled"
+                               : " neither fired nor cancelled");
+    fired_count += f ? 1 : 0;
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.cancelled_pending(), 0u);
+  // Sanity: cancel after the fact is a no-op returning false.
+  EXPECT_FALSE(q.cancel(tokens[0]));
+  (void)fired_count;
+}
+
+TEST(EventQueueRace, CallbacksMayScheduleAndCancelReentrantly) {
+  lsdb::EventQueue q;
+  int ran = 0;
+  lsdb::EventToken victim = 0;
+  q.schedule(1.0, [&] {
+    ++ran;
+    victim = q.schedule(5.0, [&] { ran += 100; });
+    q.schedule(2.0, [&] {
+      ++ran;
+      EXPECT_TRUE(q.cancel(victim));
+    });
+  });
+  q.run_all();
+  EXPECT_EQ(ran, 2) << "the cancelled reentrant event must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Service equivalence harness.
+// ---------------------------------------------------------------------------
+
+std::vector<Demand> random_demands(const Graph& g, std::size_t count,
+                                   Rng& rng) {
+  std::vector<Demand> demands;
+  while (demands.size() < count) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    demands.push_back(Demand{s, t});
+  }
+  return demands;
+}
+
+/// The ground truth: a serial source-RBPC restoration of every demand
+/// against the final mask, exactly as the drill engines would compute it.
+std::vector<core::Restoration> serial_replay(const Graph& g,
+                                             spf::Metric metric,
+                                             const std::vector<Demand>& demands,
+                                             const FailureMask& mask) {
+  spf::DistanceOracle oracle(g, FailureMask{}, metric);
+  core::CanonicalBaseSet base(oracle);
+  std::vector<core::Restoration> out;
+  out.reserve(demands.size());
+  for (const Demand& d : demands) {
+    out.push_back(core::source_rbpc_restore(base, d.src, d.dst, mask));
+  }
+  return out;
+}
+
+void expect_identical_tables(const std::vector<core::Restoration>& want,
+                             const std::vector<core::Restoration>& got,
+                             const std::string& context) {
+  ASSERT_EQ(want.size(), got.size()) << context;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const std::string ctx = context + " demand " + std::to_string(i);
+    EXPECT_EQ(want[i].backup, got[i].backup) << ctx << ": backup differs";
+    EXPECT_EQ(want[i].decomposition, got[i].decomposition)
+        << ctx << ": decomposition differs";
+  }
+}
+
+chaos::StormConfig storm_config() {
+  chaos::StormConfig config;
+  config.events = 14;
+  config.max_concurrent = 3;
+  config.faults.lsa_loss = 0.2;
+  config.faults.lsa_jitter = 6.0;
+  config.faults.lsa_dup = 0.2;
+  config.faults.detect_jitter = 1.0;
+  config.faults.miss_detect = 0.1;
+  config.faults.flap_count = 1;
+  return config;
+}
+
+/// Ingests the full delivery stream (already time-sorted) and quiesces.
+void ingest_all(RestorationService& svc,
+                const std::vector<chaos::StormEvent>& deliveries) {
+  for (const chaos::StormEvent& d : deliveries) svc.ingest(d.event);
+  svc.quiesce();
+}
+
+void expect_view_matches_truth(const RestorationService& svc,
+                               const chaos::Storm& storm,
+                               const std::string& context) {
+  const FailureMask truth = storm.final_mask();
+  const std::vector<std::uint64_t> gens =
+      storm.final_generations(svc.graph().num_edges());
+  const ShardedLsdb::Snapshot view = svc.lsdb().snapshot();
+  for (EdgeId e = 0; e < svc.graph().num_edges(); ++e) {
+    EXPECT_EQ(view.edge_failed(e), truth.edge_failed(e))
+        << context << ": view != truth for edge " << e;
+    EXPECT_EQ(view.generation(e), gens[e])
+        << context << ": generation mismatch for edge " << e;
+  }
+}
+
+TEST(ServiceEquivalence, QuiescentTablesMatchSerialReplayAcrossCorpus) {
+  const std::vector<TopoCase> cases = corpus();
+  ASSERT_GE(cases.size(), 54u);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Graph& g = cases[ci].g;
+    Rng rng(9000 + ci);
+    const std::vector<Demand> demands = random_demands(g, 8, rng);
+    const chaos::Storm storm = chaos::plan_storm(g, storm_config(), rng);
+
+    ServiceOptions options;
+    options.shards = 4;
+    options.workers = 4;
+    RestorationService svc(g, demands, options);
+    ingest_all(svc, storm.deliveries);
+
+    expect_view_matches_truth(svc, storm, cases[ci].name);
+    expect_identical_tables(
+        serial_replay(g, options.metric, demands, storm.final_mask()),
+        svc.routes(), cases[ci].name);
+    svc.stop();
+  }
+}
+
+TEST(ServiceEquivalence, NoEventsKeepsProvisionedBaselines) {
+  const Graph g = testing::make_wheel16();
+  Rng rng(1);
+  const std::vector<Demand> demands = random_demands(g, 10, rng);
+  RestorationService svc(g, demands);
+  svc.quiesce();
+  expect_identical_tables(
+      serial_replay(g, ServiceOptions{}.metric, demands, FailureMask{}),
+      svc.routes(), "baseline");
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    EXPECT_FALSE(svc.dirty(d));
+  }
+}
+
+TEST(ServiceEquivalence, OverloadDefersButStillConverges) {
+  // A two-slot queue under a hub storm forces the queue-full rung of the
+  // degradation ladder; deferred demands must still converge at quiesce.
+  const Graph g = testing::make_wheel16();
+  Rng rng(42);
+  const std::vector<Demand> demands = random_demands(g, 24, rng);
+  chaos::StormConfig config = storm_config();
+  config.events = 20;
+  const chaos::Storm storm = chaos::plan_storm(g, config, rng);
+
+  ServiceOptions options;
+  options.queue_capacity = 2;
+  options.workers = 2;
+  RestorationService svc(g, demands, options);
+  ingest_all(svc, storm.deliveries);
+
+  expect_identical_tables(
+      serial_replay(g, options.metric, demands, storm.final_mask()),
+      svc.routes(), "overload");
+  const ServiceStats stats = svc.stats();
+  EXPECT_GT(stats.reroutes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving independence: fixed seed, any worker/shard count -> same
+// quiescent FEC tables. 20 seeds x {1,2,8} workers x {1,4} shards.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProperty, InterleavingIndependenceMatrix) {
+  const Graph g = topo::make_grid(4, 5);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng scenario_rng(5000 + seed);
+    const std::vector<Demand> demands = random_demands(g, 10, scenario_rng);
+    const chaos::Storm storm =
+        chaos::plan_storm(g, storm_config(), scenario_rng);
+    const std::vector<core::Restoration> want = serial_replay(
+        g, ServiceOptions{}.metric, demands, storm.final_mask());
+
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        ServiceOptions options;
+        options.workers = workers;
+        options.shards = shards;
+        RestorationService svc(g, demands, options);
+        ingest_all(svc, storm.deliveries);
+        expect_identical_tables(
+            want, svc.routes(),
+            "seed " + std::to_string(seed) + " workers " +
+                std::to_string(workers) + " shards " + std::to_string(shards));
+        svc.stop();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Free-running stress: ingest threads + reroute workers + a scraper, no
+// schedule, all invariants asserted live. The TSan CI job runs this.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
+  const Graph g = [] {
+    Rng rng(3005);
+    return topo::make_barabasi_albert(21, 2, 0.3, rng, 0.4);
+  }();
+  Rng rng(777);
+  const std::vector<Demand> demands = random_demands(g, 16, rng);
+  chaos::StormConfig config = storm_config();
+  config.events = 24;
+  const chaos::Storm storm = chaos::plan_storm(g, config, rng);
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.shards = 4;
+  options.queue_capacity = 8;  // small: exercise the deferred path too
+  RestorationService svc(g, demands, options);
+
+  // Split the stream between two ingest threads. Each thread preserves its
+  // slice's order; the cross-thread interleaving is whatever the scheduler
+  // does. Generation gating makes the quiescent view order-independent.
+  std::vector<chaos::StormEvent> even, odd;
+  for (std::size_t i = 0; i < storm.deliveries.size(); ++i) {
+    (i % 2 == 0 ? even : odd).push_back(storm.deliveries[i]);
+  }
+  std::atomic<bool> churn_done{false};
+  std::thread scraper([&] {
+    // Chaos invariant during churn: snapshot versions are monotone and a
+    // pinned view is coherent (readable end to end) while writers publish.
+    std::uint64_t last_version = 0;
+    std::uint64_t observations = 0;
+    while (!churn_done.load(std::memory_order_acquire)) {
+      const ShardedLsdb::Snapshot snap = svc.lsdb().snapshot();
+      ASSERT_GE(snap.version(), last_version);
+      last_version = snap.version();
+      FailureMask mask = snap.to_mask();
+      ASSERT_LE(mask.failed_edge_count(), g.num_edges());
+      const std::vector<core::Restoration> routes = svc.routes();
+      ASSERT_EQ(routes.size(), demands.size());
+      (void)svc.stats();
+      ++observations;
+    }
+    EXPECT_GT(observations, 0u);
+  });
+  std::thread ingest_a([&] {
+    for (const chaos::StormEvent& d : even) svc.ingest(d.event);
+  });
+  std::thread ingest_b([&] {
+    for (const chaos::StormEvent& d : odd) svc.ingest(d.event);
+  });
+  ingest_a.join();
+  ingest_b.join();
+  svc.quiesce();
+  churn_done.store(true, std::memory_order_release);
+  scraper.join();
+
+  // Post-quiescence chaos invariants: view == truth, table == serial.
+  expect_view_matches_truth(svc, storm, "stress");
+  expect_identical_tables(
+      serial_replay(g, options.metric, demands, storm.final_mask()),
+      svc.routes(), "stress");
+  const ServiceStats stats = svc.stats();
+  EXPECT_GT(stats.reroutes, 0u);
+  EXPECT_EQ(stats.events_applied + stats.events_discarded,
+            storm.deliveries.size());
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace rbpc::service
