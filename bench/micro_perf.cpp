@@ -5,7 +5,10 @@
 // re-provisioning, and measure the substrate primitives.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "core/base_set.hpp"
@@ -22,6 +25,50 @@
 #include "spf/workspace.hpp"
 #include "topo/generators.hpp"
 #include "util/rng.hpp"
+
+// --- Allocation-counting hook ----------------------------------------------
+//
+// Program-wide operator new replacement that counts every heap allocation.
+// BM_ArenaRestoreZeroAlloc uses the counter delta around its measured loop
+// to *prove* the arena hot path allocates nothing once warm — a property a
+// profiler can only suggest. Allocation goes through malloc/free so the
+// replacement composes with the unreplaced deallocation forms.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -158,6 +205,53 @@ void BM_SourceRbpcRestore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SourceRbpcRestore);
+
+void BM_ArenaRestoreZeroAlloc(benchmark::State& state) {
+  // The allocation-free hot path (DESIGN.md §11): after one warm-up pass
+  // sizes the scratch to its high-water mark, restoring any of the fixed
+  // scenarios must perform zero heap allocations. The operator-new hook
+  // above counts; any allocation in the measured loop fails the benchmark
+  // (SkipWithError -> "ERROR OCCURRED" in the output, gated in CI).
+  const Graph& g = isp_graph();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  core::AllPairsShortestBaseSet base(oracle);
+  struct Case {
+    NodeId s;
+    NodeId t;
+    FailureMask mask;
+  };
+  Rng rng(13);
+  std::vector<Case> cases;
+  while (cases.size() < 16) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const graph::Path lsp = oracle.canonical_path(s, t);
+    if (lsp.hops() < 1) continue;
+    FailureMask mask;
+    mask.fail_edge(lsp.edge(rng.below(lsp.hops())));
+    cases.push_back(Case{s, t, std::move(mask)});
+  }
+  core::RestoreScratch scratch;
+  // Warm-up: every scenario once, so the scratch arrays, the arena and the
+  // oracle's tree cache reach steady state before counting starts.
+  for (const Case& c : cases) {
+    core::source_rbpc_restore_into(base, c.s, c.t, c.mask, scratch);
+  }
+  const std::uint64_t before = heap_allocs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Case& c = cases[i++ % cases.size()];
+    core::source_rbpc_restore_into(base, c.s, c.t, c.mask, scratch);
+    benchmark::DoNotOptimize(scratch.backup);
+  }
+  const std::uint64_t allocs = heap_allocs() - before;
+  state.counters["heap_allocs"] = static_cast<double>(allocs);
+  if (allocs != 0) {
+    state.SkipWithError("warm restoration allocated on the heap");
+  }
+}
+BENCHMARK(BM_ArenaRestoreZeroAlloc);
 
 void BM_GreedyDecompose(benchmark::State& state) {
   const Graph& g = isp_graph();

@@ -1,0 +1,276 @@
+// Million-node scale benchmark (DESIGN.md §11): provisioning, single-link
+// failure restoration and decomposition on an internet-like topology grown
+// past the paper's Table-1 sizes.
+//
+// Pipeline:
+//   1. generate make_internet_like(scale)   (scale 25 ~= 1,009,425 nodes)
+//   2. bulk-build padded SPF trees for a pool of demand sources across the
+//      thread pool (spf/bulk.hpp)                       -> SPF trees/sec
+//   3. provision demands: canonical primaries extracted into a PathArena,
+//      plus the sorted (link, demand) affected index
+//   4. failure sweep: for each sampled failed link, restore every affected
+//      demand through the allocation-free hot path (repair_tree_into +
+//      path_to_ref + greedy_decompose_into)             -> restores/sec,
+//      p50/p99 restore latency
+//
+// Peak RSS is read from getrusage at the end; --rss-budget-mb turns the
+// documented memory budget into a hard gate (exit 1 when exceeded), which
+// is how CI keeps the per-node byte costs of DESIGN.md §11 honest.
+//
+// Results are written as a flat JSON object (default BENCH_million.json);
+// human narration goes to stderr.
+//
+// Flags: --scale X, --sources N, --demands N, --failures N, --seed N,
+//        --threads N, --json PATH, --rss-budget-mb N, --oracle-cache-mb N,
+//        --metrics-json PATH, --trace-out PATH, --obs-check LIST
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_obs.hpp"
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "core/restoration.hpp"
+#include "graph/analysis.hpp"
+#include "graph/failure.hpp"
+#include "graph/path_arena.hpp"
+#include "spf/bulk.hpp"
+#include "spf/incremental.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "topo/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbpc;
+  using graph::EdgeId;
+  using graph::NodeId;
+
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 25.0);
+  const std::size_t num_sources = args.get_uint("sources", 32);
+  const std::size_t num_demands = args.get_uint("demands", 2000);
+  const std::size_t num_failures = args.get_uint("failures", 1000);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t threads = args.get_uint("threads", 0);
+  const std::string json_path = args.get_string("json", "BENCH_million.json");
+  const double rss_budget_mb = args.get_double("rss-budget-mb", 0.0);
+  const std::size_t oracle_cache_mb = args.get_uint("oracle-cache-mb", 256);
+  const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
+
+  // --- 1. Topology ---------------------------------------------------------
+  Rng topo_rng(seed);
+  const auto gen_start = Clock::now();
+  const graph::Graph g = topo::make_internet_like(topo_rng, scale);
+  const double gen_seconds = seconds_since(gen_start);
+  std::cerr << "topology: " << g.summary() << " (scale " << scale << ", "
+            << gen_seconds << " s to generate)\n";
+
+  const graph::Components comps = graph::connected_components(g);
+
+  // Membership oracle for greedy decomposition: byte-bounded tree cache and
+  // bidirectional point queries, so probe cost stays independent of n.
+  spf::DistanceOracle oracle(g, graph::FailureMask{}, spf::Metric::Hops,
+                             /*max_cached_trees=*/0,
+                             /*max_cached_bytes=*/oracle_cache_mb << 20);
+  oracle.set_bounded_point_queries(true);
+  core::AllPairsShortestBaseSet base(oracle);
+
+  // --- 2. Bulk source trees ------------------------------------------------
+  Rng rng(seed * 1000 + 37);
+  std::vector<NodeId> sources;
+  sources.reserve(num_sources);
+  while (sources.size() < num_sources) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (std::find(sources.begin(), sources.end(), s) == sources.end()) {
+      sources.push_back(s);
+    }
+  }
+  ThreadPool pool(threads);
+  const spf::SpfOptions spf_options{.metric = spf::Metric::Hops,
+                                    .padded = true};
+  const auto build_start = Clock::now();
+  const std::vector<spf::ShortestPathTree> trees = spf::build_trees(
+      g, sources, graph::FailureMask::none(), spf_options, pool);
+  const double build_seconds = seconds_since(build_start);
+  const double trees_per_sec =
+      static_cast<double>(num_sources) / std::max(build_seconds, 1e-9);
+  std::size_t tree_bytes = 0;
+  for (const auto& t : trees) tree_bytes += t.memory_bytes();
+  std::cerr << "source trees: " << num_sources << " padded trees in "
+            << build_seconds << " s (" << trees_per_sec << "/s, "
+            << static_cast<double>(tree_bytes) / (1024.0 * 1024.0)
+            << " MiB, " << pool.size() << " worker(s))\n";
+
+  // --- 3. Provisioning -----------------------------------------------------
+  struct Demand {
+    NodeId src = graph::kInvalidNode;
+    NodeId dst = graph::kInvalidNode;
+    std::size_t tree = 0;  ///< index into sources/trees
+    graph::PathRef primary;
+  };
+  graph::PathArena provision_arena;
+  std::vector<Demand> demands;
+  demands.reserve(num_demands);
+  const auto provision_start = Clock::now();
+  while (demands.size() < num_demands) {
+    const std::size_t si = rng.below(num_sources);
+    const NodeId s = sources[si];
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (t == s || !comps.same_component(s, t)) continue;
+    Demand d;
+    d.src = s;
+    d.dst = t;
+    d.tree = si;
+    d.primary = trees[si].path_to_ref(g, t, provision_arena);
+    demands.push_back(d);
+  }
+  // Affected index: every (link, demand) incidence, sorted so a failure
+  // finds its victims with one equal_range.
+  std::vector<std::pair<EdgeId, std::uint32_t>> affected;
+  for (std::uint32_t i = 0; i < demands.size(); ++i) {
+    for (EdgeId e : provision_arena.view(demands[i].primary).edges()) {
+      affected.emplace_back(e, i);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  std::vector<EdgeId> used_links;
+  for (const auto& [e, d] : affected) {
+    if (used_links.empty() || used_links.back() != e) used_links.push_back(e);
+  }
+  const double provision_seconds = seconds_since(provision_start);
+  std::cerr << "provisioned: " << demands.size() << " demands, "
+            << affected.size() << " (link, demand) incidences over "
+            << used_links.size() << " distinct links ("
+            << provision_seconds << " s)\n";
+
+  // --- 4. Failure sweep ----------------------------------------------------
+  core::RestoreScratch scratch;
+  QuantileSketch restore_us;
+  StatAccumulator pc_length;
+  std::size_t restorations = 0;
+  std::size_t restored = 0;
+  std::size_t unrestorable = 0;
+  const auto sweep_start = Clock::now();
+  for (std::size_t f = 0; f < num_failures; ++f) {
+    const EdgeId link = used_links[rng.below(used_links.size())];
+    graph::FailureMask mask;
+    mask.fail_edge(link);
+    const auto range = std::equal_range(
+        affected.begin(), affected.end(), std::make_pair(link, std::uint32_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = range.first; it != range.second; ++it) {
+      const Demand& d = demands[it->second];
+      const auto t0 = Clock::now();
+      // The provisioning-time tree for the demand's source is the repair
+      // base: one incremental repair instead of a from-scratch SPF, then
+      // the arena-backed extract + greedy cover.
+      spf::repair_tree_into(g, trees[d.tree], mask, spf_options,
+                            scratch.workspace, scratch.tree);
+      ++restorations;
+      if (scratch.tree.reachable(d.dst)) {
+        scratch.arena.clear();
+        scratch.backup = scratch.tree.path_to_ref(g, d.dst, scratch.arena);
+        core::greedy_decompose_into(base, scratch.arena, scratch.backup,
+                                    scratch.decomposition);
+        ++restored;
+        pc_length.add(static_cast<double>(scratch.decomposition.size()));
+      } else {
+        ++unrestorable;
+      }
+      restore_us.add(seconds_since(t0) * 1e6);
+    }
+  }
+  const double sweep_seconds = seconds_since(sweep_start);
+  const double restores_per_sec =
+      static_cast<double>(restorations) / std::max(sweep_seconds, 1e-9);
+
+  const double rss_mb = peak_rss_mb();
+  std::cerr << "failure sweep: " << num_failures << " link failures, "
+            << restorations << " restorations (" << restored << " restored, "
+            << unrestorable << " unrestorable) in " << sweep_seconds
+            << " s = " << restores_per_sec << " restores/s\n";
+  if (!restore_us.empty()) {
+    std::cerr << "restore latency: p50 " << restore_us.quantile(0.5)
+              << " us, p99 " << restore_us.quantile(0.99) << " us\n";
+  }
+  if (!pc_length.empty()) {
+    std::cerr << "avg PC length: " << pc_length.mean() << "\n";
+  }
+  std::cerr << "peak RSS: " << rss_mb << " MiB (oracle cache "
+            << static_cast<double>(oracle.cached_bytes()) / (1024.0 * 1024.0)
+            << " MiB, " << oracle.spf_runs() << " SPF runs)\n";
+
+  // --- Report --------------------------------------------------------------
+  {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"scale\": " << scale << ",\n"
+        << "  \"nodes\": " << g.num_nodes() << ",\n"
+        << "  \"edges\": " << g.num_edges() << ",\n"
+        << "  \"threads\": " << pool.size() << ",\n"
+        << "  \"gen_seconds\": " << gen_seconds << ",\n"
+        << "  \"source_trees\": " << num_sources << ",\n"
+        << "  \"tree_build_seconds\": " << build_seconds << ",\n"
+        << "  \"trees_per_sec\": " << trees_per_sec << ",\n"
+        << "  \"tree_bytes\": " << tree_bytes << ",\n"
+        << "  \"demands\": " << demands.size() << ",\n"
+        << "  \"provision_seconds\": " << provision_seconds << ",\n"
+        << "  \"failures\": " << num_failures << ",\n"
+        << "  \"restorations\": " << restorations << ",\n"
+        << "  \"restored\": " << restored << ",\n"
+        << "  \"unrestorable\": " << unrestorable << ",\n"
+        << "  \"sweep_seconds\": " << sweep_seconds << ",\n"
+        << "  \"restores_per_sec\": " << restores_per_sec << ",\n"
+        << "  \"restore_p50_us\": "
+        << (restore_us.empty() ? 0.0 : restore_us.quantile(0.5)) << ",\n"
+        << "  \"restore_p99_us\": "
+        << (restore_us.empty() ? 0.0 : restore_us.quantile(0.99)) << ",\n"
+        << "  \"avg_pc_length\": "
+        << (pc_length.empty() ? 0.0 : pc_length.mean()) << ",\n"
+        << "  \"oracle_cached_bytes\": " << oracle.cached_bytes() << ",\n"
+        << "  \"oracle_spf_runs\": " << oracle.spf_runs() << ",\n"
+        << "  \"peak_rss_mb\": " << rss_mb << ",\n"
+        << "  \"rss_budget_mb\": " << rss_budget_mb << "\n"
+        << "}\n";
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_path << "\n";
+  }
+
+  int rc = obs_cli.finish();
+  if (rss_budget_mb > 0.0 && rss_mb > rss_budget_mb) {
+    std::cerr << "FAIL: peak RSS " << rss_mb << " MiB exceeds budget "
+              << rss_budget_mb << " MiB\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -19,7 +19,7 @@ const graph::Graph& AllPairsShortestBaseSet::graph() const {
 
 spf::Metric AllPairsShortestBaseSet::metric() const { return oracle_.metric(); }
 
-bool AllPairsShortestBaseSet::contains(const graph::Path& segment) {
+bool AllPairsShortestBaseSet::contains(graph::PathView segment) {
   return oracle_.is_shortest(segment);
 }
 
@@ -27,6 +27,12 @@ graph::Path AllPairsShortestBaseSet::base_path(graph::NodeId u,
                                                graph::NodeId v) {
   if (u == v) return graph::Path::trivial(u);
   return oracle_.some_shortest_path(u, v);
+}
+
+graph::PathRef AllPairsShortestBaseSet::base_path_ref(
+    graph::NodeId u, graph::NodeId v, graph::PathArena& arena) {
+  if (u == v) return arena.trivial(u);
+  return oracle_.some_shortest_path_ref(u, v, arena);
 }
 
 bool AllPairsShortestBaseSet::connected(graph::NodeId u, graph::NodeId v) {
@@ -46,13 +52,19 @@ const graph::Graph& CanonicalBaseSet::graph() const { return oracle_.graph(); }
 
 spf::Metric CanonicalBaseSet::metric() const { return oracle_.metric(); }
 
-bool CanonicalBaseSet::contains(const graph::Path& segment) {
+bool CanonicalBaseSet::contains(graph::PathView segment) {
   return oracle_.is_canonical(segment);
 }
 
 graph::Path CanonicalBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
   if (u == v) return graph::Path::trivial(u);
   return oracle_.canonical_path(u, v);
+}
+
+graph::PathRef CanonicalBaseSet::base_path_ref(graph::NodeId u, graph::NodeId v,
+                                               graph::PathArena& arena) {
+  if (u == v) return arena.trivial(u);
+  return oracle_.canonical_path_ref(u, v, arena);
 }
 
 bool CanonicalBaseSet::connected(graph::NodeId u, graph::NodeId v) {
@@ -72,15 +84,17 @@ const graph::Graph& ExpandedBaseSet::graph() const { return oracle_.graph(); }
 
 spf::Metric ExpandedBaseSet::metric() const { return oracle_.metric(); }
 
-bool ExpandedBaseSet::contains(const graph::Path& segment) {
+bool ExpandedBaseSet::contains(graph::PathView segment) {
   if (segment.empty() || segment.hops() == 0) return true;
   if (oracle_.is_canonical(segment)) return true;
   // Corollary 4: canonical path with one edge appended at either end. A
-  // single edge is the 0-hop canonical path plus that edge.
-  if (oracle_.is_canonical(segment.prefix_hops(segment.hops() - 1))) {
+  // single edge is the 0-hop canonical path plus that edge. Subviews keep
+  // the probes allocation-free.
+  if (oracle_.is_canonical(
+          segment.subview(0, segment.num_nodes() - 2))) {
     return true;  // canonical + trailing edge
   }
-  if (oracle_.is_canonical(segment.suffix_from(1))) {
+  if (oracle_.is_canonical(segment.subview(1, segment.num_nodes() - 1))) {
     return true;  // leading edge + canonical
   }
   return false;
@@ -89,6 +103,12 @@ bool ExpandedBaseSet::contains(const graph::Path& segment) {
 graph::Path ExpandedBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
   if (u == v) return graph::Path::trivial(u);
   return oracle_.canonical_path(u, v);
+}
+
+graph::PathRef ExpandedBaseSet::base_path_ref(graph::NodeId u, graph::NodeId v,
+                                              graph::PathArena& arena) {
+  if (u == v) return arena.trivial(u);
+  return oracle_.canonical_path_ref(u, v, arena);
 }
 
 bool ExpandedBaseSet::connected(graph::NodeId u, graph::NodeId v) {

@@ -29,6 +29,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/path_arena.hpp"
 #include "spf/metric.hpp"
 #include "spf/oracle.hpp"
 
@@ -42,12 +43,22 @@ class BasePathSet {
   virtual spf::Metric metric() const = 0;
 
   /// Is `segment` (a concrete path in the graph) a member base path?
-  /// Trivial (<= 1 node) segments are members by convention.
-  virtual bool contains(const graph::Path& segment) = 0;
+  /// Trivial (<= 1 node) segments are members by convention. The PathView
+  /// form is the primitive — membership is read-only, so the hot path
+  /// probes arena-backed views without materializing a Path.
+  virtual bool contains(graph::PathView segment) = 0;
+  bool contains(const graph::Path& segment) {
+    return contains(segment.view());
+  }
 
   /// A base path from u to v, or the empty path when the set has none
   /// (disconnected pair). Used by provisioning and overlay decomposition.
   virtual graph::Path base_path(graph::NodeId u, graph::NodeId v) = 0;
+
+  /// Arena counterpart of base_path: stores the base path into `arena` and
+  /// returns its handle (the empty PathRef when the set has none).
+  virtual graph::PathRef base_path_ref(graph::NodeId u, graph::NodeId v,
+                                       graph::PathArena& arena) = 0;
 
   /// True when the set has *some* base path u -> v, i.e. base_path(u, v)
   /// would be non-empty. O(1) against the oracle's cached tree at u — lets
@@ -72,8 +83,11 @@ class AllPairsShortestBaseSet final : public BasePathSet {
 
   const graph::Graph& graph() const override;
   spf::Metric metric() const override;
-  bool contains(const graph::Path& segment) override;
+  using BasePathSet::contains;
+  bool contains(graph::PathView segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  graph::PathRef base_path_ref(graph::NodeId u, graph::NodeId v,
+                               graph::PathArena& arena) override;
   bool connected(graph::NodeId u, graph::NodeId v) override;
   bool prefix_monotone() const override { return true; }
   const char* name() const override { return "all-pairs-shortest"; }
@@ -89,8 +103,11 @@ class CanonicalBaseSet final : public BasePathSet {
 
   const graph::Graph& graph() const override;
   spf::Metric metric() const override;
-  bool contains(const graph::Path& segment) override;
+  using BasePathSet::contains;
+  bool contains(graph::PathView segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  graph::PathRef base_path_ref(graph::NodeId u, graph::NodeId v,
+                               graph::PathArena& arena) override;
   bool connected(graph::NodeId u, graph::NodeId v) override;
   bool prefix_monotone() const override { return true; }
   const char* name() const override { return "canonical-one-per-pair"; }
@@ -106,8 +123,11 @@ class ExpandedBaseSet final : public BasePathSet {
 
   const graph::Graph& graph() const override;
   spf::Metric metric() const override;
-  bool contains(const graph::Path& segment) override;
+  using BasePathSet::contains;
+  bool contains(graph::PathView segment) override;
   graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  graph::PathRef base_path_ref(graph::NodeId u, graph::NodeId v,
+                               graph::PathArena& arena) override;
   bool connected(graph::NodeId u, graph::NodeId v) override;
   /// Subpath-closed: a prefix of "canonical + trailing edge" is either a
   /// canonical subpath or a shorter canonical + the same edge, and likewise

@@ -1,8 +1,8 @@
 #include "core/decompose.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "obs/trace.hpp"
 #include "spf/metric.hpp"
@@ -18,6 +18,23 @@ using graph::Weight;
 std::size_t Decomposition::base_count() const {
   return static_cast<std::size_t>(
       std::count(is_base.begin(), is_base.end(), true));
+}
+
+std::size_t DecompositionRef::base_count() const {
+  return static_cast<std::size_t>(
+      std::count(is_base.begin(), is_base.end(), std::uint8_t{1}));
+}
+
+Decomposition DecompositionRef::materialize(const graph::Graph& g,
+                                            const graph::PathArena& arena) const {
+  Decomposition out;
+  out.pieces.reserve(pieces.size());
+  out.is_base.reserve(is_base.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    out.pieces.push_back(arena.to_path(g, pieces[i]));
+    out.is_base.push_back(is_base[i] != 0);
+  }
+  return out;
 }
 
 Path Decomposition::joined() const {
@@ -84,40 +101,95 @@ Decomposition greedy_decompose(BasePathSet& base, const Path& route) {
   return out;
 }
 
-Decomposition overlay_decompose(BasePathSet& base,
-                                const graph::FailureMask& mask, NodeId s,
-                                NodeId t) {
+void greedy_decompose_into(BasePathSet& base, const graph::PathArena& arena,
+                           graph::PathRef route, DecompositionRef& out) {
+  RBPC_TRACE_SPAN("decompose");
+  require(!route.empty(), "greedy_decompose: empty route");
+  out.clear();
+  const std::size_t last = route.num_nodes() - 1;
+  std::size_t pos = 0;
+  while (pos < last) {
+    std::size_t best = pos;  // farthest node index reachable by one base piece
+    if (base.contains(arena.view(arena.subref(route, pos, pos + 1)))) {
+      if (base.prefix_monotone()) {
+        // Largest j with subref(pos, j) in the set; membership is monotone
+        // in j, so binary search.
+        std::size_t lo = pos + 1;  // known member
+        std::size_t hi = last;     // candidate range upper end
+        while (lo < hi) {
+          const std::size_t mid = lo + (hi - lo + 1) / 2;
+          if (base.contains(arena.view(arena.subref(route, pos, mid)))) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        best = lo;
+      } else {
+        // Linear scan from the far end.
+        for (std::size_t j = last; j > pos; --j) {
+          if (base.contains(arena.view(arena.subref(route, pos, j)))) {
+            best = j;
+            break;
+          }
+        }
+      }
+    }
+    if (best == pos) {
+      // Not even the first hop is a base path: emit it as a loose edge
+      // (Theorem 2's interleaved edges).
+      out.pieces.push_back(arena.subref(route, pos, pos + 1));
+      out.is_base.push_back(0);
+      pos = pos + 1;
+    } else {
+      out.pieces.push_back(arena.subref(route, pos, best));
+      out.is_base.push_back(1);
+      pos = best;
+    }
+  }
+  if constexpr (obs::kObsEnabled) {
+    static obs::Histogram pieces =
+        obs::MetricsRegistry::global().histogram("decompose.pieces");
+    pieces.record(out.pieces.size());
+  }
+}
+
+void overlay_decompose_into(BasePathSet& base, const graph::FailureMask& mask,
+                            NodeId s, NodeId t, graph::PathArena& arena,
+                            OverlayWorkspace& ws, DecompositionRef& out) {
   RBPC_TRACE_SPAN("decompose.overlay");
   const graph::Graph& g = base.graph();
   require(s < g.num_nodes() && t < g.num_nodes(),
           "overlay_decompose: node out of range");
   require(mask.node_alive(s) && mask.node_alive(t),
           "overlay_decompose: endpoint router is failed");
+  out.clear();
 
-  struct State {
-    Weight cost = graph::kUnreachable;
-    std::uint32_t pieces = ~0u;
-    NodeId pred = graph::kInvalidNode;
-    bool pred_is_base = false;  // piece from pred was a base path (vs edge)
-    EdgeId pred_edge = graph::kInvalidEdge;  // when the piece was an edge
-    bool settled = false;
-  };
-  std::vector<State> states(g.num_nodes());
+  using State = OverlayWorkspace::State;
+  using HeapItem = OverlayWorkspace::HeapItem;
+  std::vector<State>& states = ws.states;
+  states.assign(g.num_nodes(), State{});
 
-  struct HeapItem {
-    Weight cost;
-    std::uint32_t pieces;
-    NodeId node;
-    bool operator>(const HeapItem& o) const {
-      if (cost != o.cost) return cost > o.cost;
-      if (pieces != o.pieces) return pieces > o.pieces;
-      return node > o.node;
-    }
+  // Binary min-heap via push_heap/pop_heap over operator>. HeapItem
+  // comparison is total over (cost, pieces, node), so the pop sequence is
+  // the sorted order — identical to the std::priority_queue the legacy
+  // implementation used, regardless of heap internals.
+  std::vector<HeapItem>& heap = ws.heap;
+  heap.clear();
+  const auto heap_push = [&](HeapItem item) {
+    heap.push_back(item);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
   };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  const auto heap_pop = [&] {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const HeapItem item = heap.back();
+    heap.pop_back();
+    return item;
+  };
+
   states[s].cost = 0;
   states[s].pieces = 0;
-  heap.push({0, 0, s});
+  heap_push({0, 0, s});
 
   auto relax = [&](NodeId to, Weight cost, std::uint32_t pieces, NodeId pred,
                    bool is_base, EdgeId pred_edge) {
@@ -129,13 +201,12 @@ Decomposition overlay_decompose(BasePathSet& base,
       st.pred = pred;
       st.pred_is_base = is_base;
       st.pred_edge = pred_edge;
-      heap.push({cost, pieces, to});
+      heap_push({cost, pieces, to});
     }
   };
 
   while (!heap.empty()) {
-    const HeapItem item = heap.top();
-    heap.pop();
+    const HeapItem item = heap_pop();
     State& st = states[item.node];
     if (st.settled || item.cost != st.cost || item.pieces != st.pieces) continue;
     st.settled = true;
@@ -148,12 +219,20 @@ Decomposition overlay_decompose(BasePathSet& base,
     // all targets costs O(n * path length), not n tree builds; targets the
     // cached tree cannot even reach are skipped before materializing a
     // path at all (connected() is an O(1) probe of the same tree).
+    // Candidate paths are stored in the arena only while being inspected:
+    // the mark/rewind pair reclaims each probe, so the scan consumes no
+    // storage no matter how many targets it touches.
     for (NodeId y = 0; y < g.num_nodes(); ++y) {
       if (y == x || !mask.node_alive(y) || !base.connected(x, y)) continue;
-      const Path bp = base.base_path(x, y);
-      if (bp.empty() || !bp.alive(g, mask)) continue;
+      const graph::PathArena::Mark probe = arena.mark();
+      const graph::PathView bp = arena.view(base.base_path_ref(x, y, arena));
+      if (bp.empty() || !bp.alive(g, mask)) {
+        arena.rewind(probe);
+        continue;
+      }
       Weight cost = 0;
       for (EdgeId e : bp.edges()) cost += spf::metric_weight(g, e, base.metric());
+      arena.rewind(probe);
       relax(y, st.cost + cost, st.pieces + 1, x, /*is_base=*/true,
             graph::kInvalidEdge);
     }
@@ -165,28 +244,38 @@ Decomposition overlay_decompose(BasePathSet& base,
     }
   }
 
-  Decomposition out;
-  if (states[t].cost == graph::kUnreachable) return out;
+  if (states[t].cost == graph::kUnreachable) return;
 
   // Reconstruct pieces t <- ... <- s, then reverse.
   NodeId cur = t;
   while (cur != s) {
     const State& st = states[cur];
     if (st.pred_is_base) {
-      out.pieces.push_back(base.base_path(st.pred, cur));
-      out.is_base.push_back(true);
+      out.pieces.push_back(base.base_path_ref(st.pred, cur, arena));
+      out.is_base.push_back(1);
     } else {
-      Path edge_piece = graph::Path::trivial(st.pred);
-      edge_piece.extend(g, st.pred_edge, cur);
+      arena.start();
+      arena.add_node(st.pred);
+      arena.add_hop(st.pred_edge, cur);
+      const graph::PathRef edge_piece = arena.commit();
       // An edge that happens to be a base path counts as one.
       out.pieces.push_back(edge_piece);
-      out.is_base.push_back(base.contains(edge_piece));
+      out.is_base.push_back(base.contains(arena.view(edge_piece)) ? 1 : 0);
     }
     cur = st.pred;
   }
   std::reverse(out.pieces.begin(), out.pieces.end());
   std::reverse(out.is_base.begin(), out.is_base.end());
-  return out;
+}
+
+Decomposition overlay_decompose(BasePathSet& base,
+                                const graph::FailureMask& mask, NodeId s,
+                                NodeId t) {
+  graph::PathArena arena;
+  OverlayWorkspace ws;
+  DecompositionRef ref;
+  overlay_decompose_into(base, mask, s, t, arena, ws, ref);
+  return ref.materialize(base.graph(), arena);
 }
 
 }  // namespace rbpc::core

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/base_set.hpp"
 #include "graph/failure.hpp"
 #include "graph/path.hpp"
+#include "graph/path_arena.hpp"
 
 namespace rbpc::core {
 
@@ -46,11 +48,42 @@ struct Decomposition {
                          const Decomposition& b) = default;
 };
 
+/// Arena-backed decomposition: piece handles into a PathArena instead of
+/// owning Paths. The hot-path counterpart of Decomposition — clear() keeps
+/// the vectors' capacity, so a warm engine reuses one DecompositionRef for
+/// every restoration with zero allocation.
+struct DecompositionRef {
+  std::vector<graph::PathRef> pieces;
+  /// 0/1 flags (std::vector<bool> would force bit twiddling on the hot
+  /// path; one byte per piece is nothing next to the piece itself).
+  std::vector<std::uint8_t> is_base;
+
+  std::size_t size() const { return pieces.size(); }
+  std::size_t base_count() const;
+  std::size_t edge_count() const { return size() - base_count(); }
+  bool empty() const { return pieces.empty(); }
+  void clear() {
+    pieces.clear();
+    is_base.clear();
+  }
+
+  /// Converts to the owning representation (the legacy / storage boundary).
+  Decomposition materialize(const graph::Graph& g,
+                            const graph::PathArena& arena) const;
+};
+
 /// Covers `route` exactly by base paths + loose edges. Preconditions:
 /// route non-empty; every edge of `route` exists in base.graph().
 /// Throws NoRouteError if the route cannot be covered (cannot happen when
 /// single edges are admissible pieces, which they always are here).
 Decomposition greedy_decompose(BasePathSet& base, const graph::Path& route);
+
+/// Arena form of greedy_decompose: `route` lives in `arena`, the resulting
+/// pieces are subrange handles into the same storage (no new slots are
+/// consumed — subref is offset math), appended to `out` after clear().
+/// Same algorithm, same probes, same pieces as greedy_decompose.
+void greedy_decompose_into(BasePathSet& base, const graph::PathArena& arena,
+                           graph::PathRef route, DecompositionRef& out);
 
 /// Minimum-cost restoration concatenation from s to t over surviving base
 /// paths and surviving single edges. Returns an empty decomposition when t
@@ -60,5 +93,41 @@ Decomposition greedy_decompose(BasePathSet& base, const graph::Path& route);
 Decomposition overlay_decompose(BasePathSet& base,
                                 const graph::FailureMask& mask,
                                 graph::NodeId s, graph::NodeId t);
+
+/// Reusable scratch for overlay_decompose_into: the per-node label array
+/// and the binary heap survive across calls, so a warm workspace makes the
+/// overlay allocation-free apart from candidate probes rewound inside the
+/// arena.
+struct OverlayWorkspace {
+  struct State {
+    graph::Weight cost = graph::kUnreachable;
+    std::uint32_t pieces = ~0u;
+    graph::NodeId pred = graph::kInvalidNode;
+    bool pred_is_base = false;  // piece from pred was a base path (vs edge)
+    graph::EdgeId pred_edge = graph::kInvalidEdge;  // when piece was an edge
+    bool settled = false;
+  };
+  struct HeapItem {
+    graph::Weight cost;
+    std::uint32_t pieces;
+    graph::NodeId node;
+    bool operator>(const HeapItem& o) const {
+      if (cost != o.cost) return cost > o.cost;
+      if (pieces != o.pieces) return pieces > o.pieces;
+      return node > o.node;
+    }
+  };
+  std::vector<State> states;
+  std::vector<HeapItem> heap;
+};
+
+/// Arena form of overlay_decompose, the single underlying implementation
+/// (the legacy overload wraps it): candidate base paths are stored in
+/// `arena` only transiently (mark/rewind), the final pieces permanently.
+/// Appends to `out` after clear(); `out` is empty when t is unreachable.
+void overlay_decompose_into(BasePathSet& base, const graph::FailureMask& mask,
+                            graph::NodeId s, graph::NodeId t,
+                            graph::PathArena& arena, OverlayWorkspace& ws,
+                            DecompositionRef& out);
 
 }  // namespace rbpc::core

@@ -36,6 +36,16 @@ struct Table2Config {
   /// SPF-tree cache bound inside the oracle (memory control on the 40k-node
   /// topology); 0 = unlimited.
   std::size_t oracle_cache_cap = 128;
+  /// Byte-based cache bound (cf. DistanceOracle); 0 = unlimited. The count
+  /// cap above stays for compatibility; at million-node scale set this one.
+  std::size_t oracle_cache_bytes = 0;
+  /// Worker threads for the tree-prefetch phase (0 = hardware concurrency,
+  /// 1 = fully serial). Sampled pairs and all results are bit-identical for
+  /// every thread count: the run replays the sample draws up front
+  /// (replay_sample_pair), prefetches the sampled sources' trees across the
+  /// pool, and then executes the measured pass unchanged — caches never
+  /// influence output, only wall-clock.
+  std::size_t threads = 1;
 };
 
 struct Table2Row {
@@ -78,6 +88,8 @@ struct StormConfig {
   std::size_t threads = 1;
   /// SPF-tree cache bound inside the membership oracle (cf. Table2Config).
   std::size_t oracle_cache_cap = 128;
+  /// Byte-based cache bound (cf. Table2Config); 0 = unlimited.
+  std::size_t oracle_cache_bytes = 0;
 };
 
 struct StormResult {

@@ -1,5 +1,8 @@
 #include "core/fec_update.hpp"
 
+#include <algorithm>
+
+#include "core/restoration.hpp"
 #include "spf/spf.hpp"
 #include "util/error.hpp"
 
@@ -19,19 +22,36 @@ FecUpdatePlan compute_fec_update_plan(BasePathSet& base, EdgeId link) {
   FailureMask mask;
   mask.fail_edge(link);
 
+  // One scratch across the whole n^2 scan: primaries and backups are
+  // probed through the arena and only the affected pairs' chains are
+  // materialized into the stored plan (the owning boundary).
+  RestoreScratch scratch;
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     for (NodeId t = 0; t < g.num_nodes(); ++t) {
       if (s == t) continue;
-      const Path primary = base.base_path(s, t);
-      if (primary.empty() || !primary.uses_edge(link)) continue;
+      scratch.arena.clear();
+      const graph::PathView primary =
+          scratch.arena.view(base.base_path_ref(s, t, scratch.arena));
+      if (primary.empty() ||
+          std::find(primary.edges().begin(), primary.edges().end(), link) ==
+              primary.edges().end()) {
+        continue;
+      }
       FecUpdate update;
       update.src = s;
       update.dst = t;
-      const Path backup = spf::shortest_path(
-          g, s, t, mask,
-          spf::SpfOptions{.metric = base.metric(), .padded = true});
-      if (!backup.empty()) {
-        update.chain = greedy_decompose(base, backup);
+      spf::shortest_tree_into(
+          g, s, mask,
+          spf::SpfOptions{.metric = base.metric(), .padded = true,
+                          .stop_at = t},
+          scratch.workspace, scratch.tree);
+      if (scratch.tree.reachable(t)) {
+        const graph::PathRef backup =
+            scratch.tree.path_to_ref(g, t, scratch.arena);
+        greedy_decompose_into(base, scratch.arena, backup,
+                              scratch.decomposition);
+        update.chain =
+            scratch.decomposition.materialize(g, scratch.arena);
       }
       plan.updates.push_back(std::move(update));
     }

@@ -34,6 +34,44 @@ Restoration source_rbpc_restore(BasePathSet& base, NodeId s, NodeId t,
   return out;
 }
 
+Restoration RestoreScratch::materialize(const graph::Graph& g) const {
+  Restoration out;
+  if (backup.empty()) return out;
+  out.backup = arena.to_path(g, backup);
+  out.decomposition = decomposition.materialize(g, arena);
+  return out;
+}
+
+void source_rbpc_restore_into(BasePathSet& base, NodeId s, NodeId t,
+                              const FailureMask& mask,
+                              RestoreScratch& scratch) {
+  RBPC_TRACE_SPAN("restore.source");
+  static obs::Counter restored =
+      obs::MetricsRegistry::global().counter("restore.source.restored");
+  static obs::Counter unrestorable =
+      obs::MetricsRegistry::global().counter("restore.source.unrestorable");
+  scratch.arena.clear();
+  scratch.decomposition.clear();
+  scratch.backup = graph::PathRef{};
+  require(t < base.graph().num_nodes(),
+          "source_rbpc_restore: target out of range");
+  // Canonical (padded) route so the result is deterministic and, with a
+  // canonical base set, maximally decomposable. The stop_at early exit
+  // mirrors spf::shortest_path.
+  spf::shortest_tree_into(
+      base.graph(), s, mask,
+      spf::SpfOptions{.metric = base.metric(), .padded = true, .stop_at = t},
+      scratch.workspace, scratch.tree);
+  if (!scratch.tree.reachable(t)) {
+    unrestorable.inc();
+    return;
+  }
+  scratch.backup = scratch.tree.path_to_ref(base.graph(), t, scratch.arena);
+  greedy_decompose_into(base, scratch.arena, scratch.backup,
+                        scratch.decomposition);
+  restored.inc();
+}
+
 namespace {
 
 /// Shared precondition checks; returns R1's index (== fail_index).

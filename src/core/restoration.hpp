@@ -10,7 +10,10 @@
 #include "core/decompose.hpp"
 #include "graph/failure.hpp"
 #include "graph/path.hpp"
+#include "graph/path_arena.hpp"
 #include "spf/metric.hpp"
+#include "spf/tree.hpp"
+#include "spf/workspace.hpp"
 
 namespace rbpc::core {
 
@@ -33,6 +36,35 @@ struct Restoration {
 Restoration source_rbpc_restore(BasePathSet& base, graph::NodeId s,
                                 graph::NodeId t,
                                 const graph::FailureMask& mask);
+
+/// Reusable per-engine scratch for arena-backed restorations. After the
+/// first few restorations size every member to its high-water mark, a warm
+/// scratch makes source_rbpc_restore_into perform zero heap allocations
+/// (the property bench/micro_perf gates on).
+struct RestoreScratch {
+  spf::SpfWorkspace workspace;
+  spf::ShortestPathTree tree;
+  graph::PathArena arena;
+  DecompositionRef decomposition;
+  /// Handle to the backup route inside `arena`; empty when the last
+  /// restoration found the pair disconnected.
+  graph::PathRef backup;
+
+  bool restored() const { return !backup.empty(); }
+  std::size_t pc_length() const { return decomposition.size(); }
+
+  /// Converts the last restoration to the owning form.
+  Restoration materialize(const graph::Graph& g) const;
+};
+
+/// Allocation-free source-router RBPC: same backup route, same greedy cover
+/// and same counters as source_rbpc_restore, but the route and its pieces
+/// live in scratch.arena (cleared on entry) and the SPF runs through
+/// scratch.workspace into scratch.tree. Results are bit-identical to the
+/// legacy engine's (the differential test in tests/test_arena.cpp).
+void source_rbpc_restore_into(BasePathSet& base, graph::NodeId s,
+                              graph::NodeId t, const graph::FailureMask& mask,
+                              RestoreScratch& scratch);
 
 /// End-route local RBPC (Figure 8): the router adjacent to the failure,
 /// R1 = lsp_path.node(fail_index), keeps the original route up to R1 and

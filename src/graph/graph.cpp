@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "graph/failure.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::graph {
@@ -34,6 +35,25 @@ std::optional<EdgeId> Graph::find_edge(NodeId u, NodeId v) const {
   Weight best_w = std::numeric_limits<Weight>::max();
   for (const Arc& a : arcs(scan_from)) {
     if (a.to == want && weight(a.edge) < best_w) {
+      best = a.edge;
+      best_w = weight(a.edge);
+    }
+  }
+  return best;
+}
+
+EdgeId Graph::cheapest_arc(NodeId u, NodeId v, const FailureMask& mask) const {
+  require(u < num_nodes_ && v < num_nodes_,
+          "Graph::cheapest_arc: node out of range");
+  if (!mask.node_alive(u) || !mask.node_alive(v)) return kInvalidEdge;
+  const NodeId scan_from = (!directed_ && degree(v) < degree(u)) ? v : u;
+  const NodeId want = (scan_from == u) ? v : u;
+  EdgeId best = kInvalidEdge;
+  Weight best_w = std::numeric_limits<Weight>::max();
+  // Strict improvement over the (target, edge)-sorted adjacency keeps the
+  // lowest edge id among equal-weight parallel survivors.
+  for (const Arc& a : arcs(scan_from)) {
+    if (a.to == want && !mask.edge_failed(a.edge) && weight(a.edge) < best_w) {
       best = a.edge;
       best_w = weight(a.edge);
     }

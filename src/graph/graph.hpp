@@ -21,6 +21,8 @@
 
 namespace rbpc::graph {
 
+class FailureMask;
+
 /// One physical link. For undirected graphs the (u, v) order is storage
 /// order only; the link carries traffic both ways with the same weight.
 struct Edge {
@@ -63,6 +65,13 @@ class Graph {
   /// graphs); nullopt when no such edge exists. O(min-degree) scan.
   std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
 
+  /// Failure-aware find_edge: the minimum-weight edge joining u to v that
+  /// survives `mask` (ties broken toward the lowest edge id, matching the
+  /// sorted-adjacency traversal order); kInvalidEdge when none survives.
+  /// The per-hop scan shared by Path::from_nodes and PathArena
+  /// materialization. O(min-degree) for undirected graphs.
+  EdgeId cheapest_arc(NodeId u, NodeId v, const FailureMask& mask) const;
+
   /// All edges joining u to v (parallel links included).
   std::vector<EdgeId> find_all_edges(NodeId u, NodeId v) const;
 
@@ -101,6 +110,10 @@ class GraphBuilder {
 
   /// True if some edge (in either direction for undirected) joins u and v.
   bool has_edge(NodeId u, NodeId v) const;
+
+  /// Reserves storage for `num_edges` edges, so million-edge generators do
+  /// not pay repeated growth copies while accumulating.
+  void reserve_edges(std::size_t num_edges) { edges_.reserve(num_edges); }
 
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return edges_.size(); }

@@ -1,13 +1,64 @@
 #include "graph/path.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <sstream>
 #include <unordered_set>
 
 #include "util/error.hpp"
 
 namespace rbpc::graph {
+
+NodeId PathView::source() const {
+  require(!empty(), "PathView::source on empty view");
+  return nodes_.front();
+}
+
+NodeId PathView::target() const {
+  require(!empty(), "PathView::target on empty view");
+  return nodes_.back();
+}
+
+NodeId PathView::node(std::size_t i) const {
+  require(i < nodes_.size(), "PathView::node: index out of range");
+  return nodes_[i];
+}
+
+EdgeId PathView::edge(std::size_t i) const {
+  require(i < edges_.size(), "PathView::edge: index out of range");
+  return edges_[i];
+}
+
+Weight PathView::cost(const Graph& g) const {
+  Weight total = 0;
+  for (EdgeId e : edges_) total += g.weight(e);
+  return total;
+}
+
+bool PathView::alive(const Graph& g, const FailureMask& mask) const {
+  for (NodeId v : nodes_) {
+    if (!mask.node_alive(v)) return false;
+  }
+  return std::all_of(edges_.begin(), edges_.end(),
+                     [&](EdgeId e) { return mask.edge_alive(g, e); });
+}
+
+PathView PathView::subview(std::size_t from, std::size_t to) const {
+  require(from <= to && to < nodes_.size(), "PathView::subview: bad range");
+  return PathView{nodes_.subspan(from, to - from + 1),
+                  edges_.subspan(from, to - from)};
+}
+
+Path PathView::to_path(const Graph& g) const {
+  return Path::from_parts(g, std::vector<NodeId>(nodes_.begin(), nodes_.end()),
+                          std::vector<EdgeId>(edges_.begin(), edges_.end()));
+}
+
+bool operator==(const PathView& a, const PathView& b) {
+  return std::equal(a.nodes_.begin(), a.nodes_.end(), b.nodes_.begin(),
+                    b.nodes_.end()) &&
+         std::equal(a.edges_.begin(), a.edges_.end(), b.edges_.begin(),
+                    b.edges_.end());
+}
 
 Path Path::trivial(NodeId v) {
   Path p;
@@ -22,15 +73,7 @@ Path Path::from_nodes(const Graph& g, const std::vector<NodeId>& nodes,
   for (std::size_t i = 1; i < nodes.size(); ++i) {
     const NodeId from = nodes[i - 1];
     const NodeId to = nodes[i];
-    // Minimum-weight surviving edge between the pair.
-    EdgeId best = kInvalidEdge;
-    Weight best_w = std::numeric_limits<Weight>::max();
-    for (const Arc& a : g.arcs(from)) {
-      if (a.to == to && mask.edge_alive(g, a.edge) && g.weight(a.edge) < best_w) {
-        best = a.edge;
-        best_w = g.weight(a.edge);
-      }
-    }
+    const EdgeId best = g.cheapest_arc(from, to, mask);
     if (best == kInvalidEdge) {
       throw NoRouteError("Path::from_nodes: no surviving edge between nodes " +
                          std::to_string(from) + " and " + std::to_string(to));

@@ -9,6 +9,8 @@
 // "no route".
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,55 @@
 #include "graph/types.hpp"
 
 namespace rbpc::graph {
+
+class Path;
+
+/// Non-owning view of a path: spans over a node sequence and the edge
+/// sequence joining it. This is the zero-copy counterpart of Path used on
+/// the allocation-free restoration hot path — subviews, cost and liveness
+/// checks never touch the heap. A view borrows its storage (a Path or a
+/// PathArena) and is invalidated by whatever invalidates that storage.
+/// An empty view (no nodes) means "no route", exactly like an empty Path.
+class PathView {
+ public:
+  PathView() = default;
+  PathView(std::span<const NodeId> nodes, std::span<const EdgeId> edges)
+      : nodes_(nodes), edges_(edges) {}
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t hops() const { return edges_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Precondition for both: !empty().
+  NodeId source() const;
+  NodeId target() const;
+
+  std::span<const NodeId> nodes() const { return nodes_; }
+  std::span<const EdgeId> edges() const { return edges_; }
+  NodeId node(std::size_t i) const;
+  EdgeId edge(std::size_t i) const;
+
+  /// Sum of edge weights in `g`.
+  Weight cost(const Graph& g) const;
+
+  /// True when every edge survives `mask` (and every node is alive).
+  bool alive(const Graph& g, const FailureMask& mask) const;
+
+  /// Subview spanning node indices [from, to] inclusive (cf. Path::subpath,
+  /// but O(1) and allocation-free). Precondition: from <= to < num_nodes().
+  PathView subview(std::size_t from, std::size_t to) const;
+
+  /// Materializes an owning, validated Path (the conversion boundary back
+  /// to the legacy representation).
+  Path to_path(const Graph& g) const;
+
+  /// Structural equality (node and edge sequences).
+  friend bool operator==(const PathView& a, const PathView& b);
+
+ private:
+  std::span<const NodeId> nodes_;
+  std::span<const EdgeId> edges_;
+};
 
 class Path {
  public:
@@ -49,6 +100,8 @@ class Path {
 
   const std::vector<NodeId>& nodes() const { return nodes_; }
   const std::vector<EdgeId>& edges() const { return edges_; }
+  /// Zero-copy view of this path; invalidated by any mutation of the Path.
+  PathView view() const { return PathView{nodes_, edges_}; }
   NodeId node(std::size_t i) const;
   EdgeId edge(std::size_t i) const;
 

@@ -1,0 +1,41 @@
+// Bulk SPF: builds one shortest-path tree per source, sharded across a
+// thread pool.
+//
+// The Table-1/2 pipeline and the million-node bench both need trees for
+// many sources under the same (graph, mask, options). Building them through
+// build_trees shares one SpfWorkspace per worker thread (thread_workspace())
+// and writes each result into a caller-provided slot, so the fan-out is
+// deterministic regardless of scheduling: slot i always holds the tree for
+// sources[i], and each tree is bit-identical to a serial shortest_tree call
+// (the workspace never influences output).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "spf/spf.hpp"
+#include "spf/tree.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rbpc::spf {
+
+/// Builds trees[i] = shortest_tree(g, sources[i], mask, options) for every
+/// i, in parallel over `pool`. `trees` must have sources.size() slots;
+/// existing slot capacity is reused (reset, not reallocated), so repeated
+/// bulk builds over the same slots settle into zero allocation. Exceptions
+/// from any source (e.g. a failed source router) are rethrown on the
+/// calling thread. options.stop_at must be unset: bulk builds are for full
+/// trees.
+void build_trees(const graph::Graph& g, std::span<const graph::NodeId> sources,
+                 const graph::FailureMask& mask, SpfOptions options,
+                 ThreadPool& pool, std::span<ShortestPathTree> trees);
+
+/// Convenience overload allocating the result vector.
+std::vector<ShortestPathTree> build_trees(const graph::Graph& g,
+                                          std::span<const graph::NodeId> sources,
+                                          const graph::FailureMask& mask,
+                                          SpfOptions options, ThreadPool& pool);
+
+}  // namespace rbpc::spf

@@ -25,10 +25,11 @@ bool heap_flavor(const SpfOptions& options) {
 
 }  // namespace
 
-ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
-                             const FailureMask& mask, SpfOptions options,
-                             SpfWorkspace& ws, IncrementalOptions incremental,
-                             RepairReport* report) {
+void repair_tree_into(const Graph& g, const ShortestPathTree& base,
+                      const FailureMask& mask, SpfOptions options,
+                      SpfWorkspace& ws, ShortestPathTree& out,
+                      IncrementalOptions incremental, RepairReport* report) {
+  require(&out != &base, "repair_tree_into: out must not alias base");
   const NodeId source = base.source();
   require(mask.node_alive(source), "repair_tree: source router is failed");
   require(options.stop_at == graph::kInvalidNode,
@@ -70,11 +71,13 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     // No local characterization of the from-scratch tie-breaking (BFS) or
     // of incoming arcs (directed CSR): recompute.
     finish(RepairKind::kScratch, 0);
-    return shortest_tree(g, source, mask, options, ws);
+    shortest_tree_into(g, source, mask, options, ws, out);
+    return;
   }
   if (mask.empty()) {
     finish(RepairKind::kIdentity, 0);
-    return base;
+    out = base;
+    return;
   }
 
   ws.begin(g.num_nodes());
@@ -108,7 +111,8 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     // changes no key and no first-achieving relaxation, so the tree is
     // unchanged verbatim.
     finish(RepairKind::kIdentity, 0);
-    return base;
+    out = base;
+    return;
   }
 
   // Collect the orphaned subtrees by descending tree edges through the
@@ -121,7 +125,8 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
   for (std::size_t head = 0; head < region.size(); ++head) {
     if (region.size() > limit) {
       finish(RepairKind::kScratch, 0);
-      return shortest_tree(g, source, mask, options, ws);
+      shortest_tree_into(g, source, mask, options, ws, out);
+      return;
     }
     const NodeId v = region[head];
     for (const graph::Arc& a : g.arcs(v)) {
@@ -131,7 +136,7 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     }
   }
 
-  ShortestPathTree out = base;
+  out = base;
   for (const NodeId v : region) {
     out.settle(v, graph::kUnreachable, graph::kUnreachable, 0,
                graph::kInvalidNode, graph::kInvalidEdge);
@@ -215,6 +220,14 @@ ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
     relaxations.add(relax_attempts);
   }
   finish(RepairKind::kRepaired, region.size());
+}
+
+ShortestPathTree repair_tree(const Graph& g, const ShortestPathTree& base,
+                             const FailureMask& mask, SpfOptions options,
+                             SpfWorkspace& ws, IncrementalOptions incremental,
+                             RepairReport* report) {
+  ShortestPathTree out;
+  repair_tree_into(g, base, mask, options, ws, out, incremental, report);
   return out;
 }
 

@@ -85,4 +85,14 @@ ShortestPathTree repair_tree(const graph::Graph& g,
                              IncrementalOptions incremental = {},
                              RepairReport* report = nullptr);
 
+/// In-place variant of repair_tree: writes the repaired tree into `out`,
+/// reusing its array capacity (copy-assignment from `base` reuses storage,
+/// so a warm `out` makes the repair allocation-free). `out` must not alias
+/// `base`. Identical output to repair_tree.
+void repair_tree_into(const graph::Graph& g, const ShortestPathTree& base,
+                      const graph::FailureMask& mask, SpfOptions options,
+                      SpfWorkspace& workspace, ShortestPathTree& out,
+                      IncrementalOptions incremental = {},
+                      RepairReport* report = nullptr);
+
 }  // namespace rbpc::spf

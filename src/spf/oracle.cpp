@@ -1,35 +1,95 @@
 #include "spf/oracle.hpp"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rbpc::spf {
 
+namespace {
+
+obs::Gauge& oracle_trees_gauge() {
+  static obs::Gauge g =
+      obs::MetricsRegistry::global().gauge("rbpc.mem.oracle_trees");
+  return g;
+}
+
+}  // namespace
+
 DistanceOracle::DistanceOracle(const graph::Graph& g, graph::FailureMask mask,
-                               Metric metric, std::size_t max_cached_trees)
+                               Metric metric, std::size_t max_cached_trees,
+                               std::size_t max_cached_bytes)
     : g_(g),
       mask_(std::move(mask)),
       metric_(metric),
-      max_cached_(max_cached_trees) {}
+      max_cached_(max_cached_trees),
+      max_cached_bytes_(max_cached_bytes) {}
+
+DistanceOracle::~DistanceOracle() {
+  oracle_trees_gauge().add(-static_cast<std::int64_t>(cached_bytes_));
+}
+
+void DistanceOracle::account(std::int64_t delta) {
+  cached_bytes_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(cached_bytes_) + delta);
+  oracle_trees_gauge().add(delta);
+}
+
+void DistanceOracle::evict_over_bounds(Cache& cache) {
+  const auto lru = [](Cache& c) {
+    return std::min_element(c.slots.begin(), c.slots.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.second.last_used < b.second.last_used;
+                            });
+  };
+  // Per-flavor count bound (the legacy max_cached_trees semantics).
+  while (max_cached_ != 0 && cache.slots.size() > max_cached_) {
+    auto victim = lru(cache);
+    account(-static_cast<std::int64_t>(victim->second.tree->memory_bytes()));
+    cache.slots.erase(victim);
+  }
+  // Byte bound spans both flavors; evict the globally least recently used
+  // tree, always keeping at least the newest one.
+  while (max_cached_bytes_ != 0 && cached_bytes_ > max_cached_bytes_ &&
+         plain_.slots.size() + padded_.slots.size() > 1) {
+    Cache* from = &plain_;
+    auto victim = plain_.slots.end();
+    if (!plain_.slots.empty()) victim = lru(plain_);
+    if (!padded_.slots.empty()) {
+      auto pv = lru(padded_);
+      if (victim == plain_.slots.end() ||
+          pv->second.last_used < victim->second.last_used) {
+        from = &padded_;
+        victim = pv;
+      }
+    }
+    account(-static_cast<std::int64_t>(victim->second.tree->memory_bytes()));
+    from->slots.erase(victim);
+  }
+}
+
+const ShortestPathTree& DistanceOracle::insert(
+    Cache& cache, graph::NodeId u, std::unique_ptr<ShortestPathTree> tree) {
+  account(static_cast<std::int64_t>(tree->memory_bytes()));
+  auto it =
+      cache.slots.insert_or_assign(u, Cache::Slot{std::move(tree), ++use_clock_})
+          .first;
+  evict_over_bounds(cache);
+  return *it->second.tree;
+}
 
 const ShortestPathTree& DistanceOracle::get(Cache& cache, graph::NodeId u,
                                             bool padded) {
   auto it = cache.slots.find(u);
   if (it == cache.slots.end()) {
-    if (max_cached_ != 0 && cache.slots.size() >= max_cached_) {
-      // Evict the least recently used tree.
-      auto victim = std::min_element(
-          cache.slots.begin(), cache.slots.end(),
-          [](const auto& a, const auto& b) {
-            return a.second.last_used < b.second.last_used;
-          });
-      cache.slots.erase(victim);
-    }
     auto tree = std::make_unique<ShortestPathTree>(shortest_tree(
         g_, u, mask_, SpfOptions{.metric = metric_, .padded = padded}));
     ++spf_runs_;
-    it = cache.slots.emplace(u, Cache::Slot{std::move(tree), 0}).first;
+    return insert(cache, u, std::move(tree));
   }
   it->second.last_used = ++use_clock_;
   return *it->second.tree;
@@ -53,12 +113,27 @@ const ShortestPathTree* DistanceOracle::peek(graph::NodeId u) const {
   return nullptr;
 }
 
+void DistanceOracle::set_bounded_point_queries(bool enabled) {
+  require(!enabled || !g_.directed(),
+          "DistanceOracle: bounded point queries need an undirected graph");
+  bounded_point_ = enabled;
+  if (enabled && point_fwd_ == nullptr) {
+    point_fwd_ = std::make_unique<SpfWorkspace>();
+    point_bwd_ = std::make_unique<SpfWorkspace>();
+  }
+}
+
 graph::Weight DistanceOracle::dist(graph::NodeId u, graph::NodeId v) {
   // Serve from whichever tree is already cached before computing one.
   if (const ShortestPathTree* t = peek(u)) return t->dist(v);
   // Undirected distances are symmetric: a cached tree at v also answers.
   if (!g_.directed()) {
     if (const ShortestPathTree* t = peek(v)) return t->dist(u);
+  }
+  if (bounded_point_) {
+    ++spf_runs_;
+    return bounded_distance(g_, u, v, mask_, SpfOptions{.metric = metric_},
+                            *point_fwd_, *point_bwd_);
   }
   return tree(u).dist(v);
 }
@@ -72,6 +147,13 @@ bool DistanceOracle::canonical_reachable(graph::NodeId u, graph::NodeId v) {
   if (const ShortestPathTree* t = peek(u)) return t->reachable(v);
   if (!g_.directed()) {
     if (const ShortestPathTree* t = peek(v)) return t->reachable(u);
+  }
+  if (bounded_point_) {
+    // Reachability is flavor-independent, so the bidirectional probe
+    // answers it without materializing a padded tree.
+    ++spf_runs_;
+    return bounded_distance(g_, u, v, mask_, SpfOptions{.metric = metric_},
+                            *point_fwd_, *point_bwd_) != graph::kUnreachable;
   }
   return padded_tree(u).reachable(v);
 }
@@ -89,7 +171,23 @@ graph::Path DistanceOracle::canonical_path(graph::NodeId u, graph::NodeId v) {
   return t.path_to(g_, v);
 }
 
-bool DistanceOracle::is_shortest(const graph::Path& segment) {
+graph::PathRef DistanceOracle::some_shortest_path_ref(graph::NodeId u,
+                                                      graph::NodeId v,
+                                                      graph::PathArena& arena) {
+  const ShortestPathTree& t = tree(u);
+  if (!t.reachable(v)) return graph::PathRef{};
+  return t.path_to_ref(g_, v, arena);
+}
+
+graph::PathRef DistanceOracle::canonical_path_ref(graph::NodeId u,
+                                                  graph::NodeId v,
+                                                  graph::PathArena& arena) {
+  const ShortestPathTree& t = padded_tree(u);
+  if (!t.reachable(v)) return graph::PathRef{};
+  return t.path_to_ref(g_, v, arena);
+}
+
+bool DistanceOracle::is_shortest(graph::PathView segment) {
   if (segment.empty() || segment.hops() == 0) return true;
   graph::Weight cost = 0;
   for (graph::EdgeId e : segment.edges()) {
@@ -98,9 +196,48 @@ bool DistanceOracle::is_shortest(const graph::Path& segment) {
   return cost == dist(segment.source(), segment.target());
 }
 
-bool DistanceOracle::is_canonical(const graph::Path& segment) {
+bool DistanceOracle::is_canonical(graph::PathView segment) {
   if (segment.empty() || segment.hops() == 0) return true;
-  return segment == canonical_path(segment.source(), segment.target());
+  const graph::NodeId u = segment.source();
+  const graph::NodeId v = segment.target();
+  // Walk the padded tree's parent chain in place instead of materializing
+  // the canonical path: same comparison, zero allocation.
+  const ShortestPathTree& t = padded_tree(u);
+  if (!t.reachable(v)) return false;
+  if (static_cast<std::size_t>(t.hops(v)) != segment.hops()) return false;
+  graph::NodeId cur = v;
+  for (std::size_t i = segment.hops(); i-- > 0;) {
+    if (segment.node(i + 1) != cur || segment.edge(i) != t.parent_edge(cur)) {
+      return false;
+    }
+    cur = t.parent(cur);
+  }
+  return cur == u;
+}
+
+void DistanceOracle::prefetch(std::span<const graph::NodeId> sources,
+                              bool padded, ThreadPool& pool) {
+  Cache& cache = padded ? padded_ : plain_;
+  std::vector<graph::NodeId> missing;
+  std::unordered_set<graph::NodeId> seen;
+  for (const graph::NodeId u : sources) {
+    if (cache.slots.contains(u) || !seen.insert(u).second) continue;
+    missing.push_back(u);
+  }
+  if (missing.empty()) return;
+  std::vector<std::unique_ptr<ShortestPathTree>> built(missing.size());
+  const SpfOptions options{.metric = metric_, .padded = padded};
+  pool.parallel_for(missing.size(), [&](std::size_t i) {
+    auto t = std::make_unique<ShortestPathTree>();
+    shortest_tree_into(g_, missing[i], mask_, options, thread_workspace(), *t);
+    built[i] = std::move(t);
+  });
+  // Serial insertion in request order: cache contents (and any eviction)
+  // end up exactly as if tree()/padded_tree() had been called in order.
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    ++spf_runs_;
+    insert(cache, missing[i], std::move(built[i]));
+  }
 }
 
 }  // namespace rbpc::spf

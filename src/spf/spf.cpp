@@ -49,9 +49,10 @@ void flush_kernel_counts(std::uint64_t pushes, std::uint64_t pops,
 /// adjacency lists are sorted. The workspace provides the FIFO queue;
 /// reachability doubles as the visited set, so no per-node scratch is
 /// needed.
-ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask,
-                          const SpfOptions& options, SpfWorkspace& ws) {
-  ShortestPathTree tree(source, g.num_nodes(), Metric::Hops, /*padded=*/false);
+void bfs_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
+                   const SpfOptions& options, SpfWorkspace& ws,
+                   ShortestPathTree& tree) {
+  tree.reset(source, g.num_nodes(), Metric::Hops, /*padded=*/false);
   tree.settle(source, 0, 0, 0, graph::kInvalidNode, graph::kInvalidEdge);
   ws.begin(g.num_nodes());
   std::vector<NodeId>& queue = ws.scratch_nodes();
@@ -72,7 +73,6 @@ ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask
   // The BFS queue stands in for the heap: a push is an enqueue, a pop a
   // dequeue (queue.size() of each).
   flush_kernel_counts(queue.size(), queue.size(), relax_attempts);
-  return tree;
 }
 
 /// Heap Dijkstra with lazy deletion on workspace scratch (no per-call
@@ -80,10 +80,10 @@ ShortestPathTree bfs_tree(const Graph& g, NodeId source, const FailureMask& mask
 /// key is the padded cost; the tree's recorded dist is always the true cost
 /// (padding preserves strict order of true costs, so the padded-optimal
 /// path is a true shortest path).
-ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
-                               const FailureMask& mask,
-                               const SpfOptions& options, SpfWorkspace& ws) {
-  ShortestPathTree tree(source, g.num_nodes(), options.metric, options.padded);
+void dijkstra_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
+                        const SpfOptions& options, SpfWorkspace& ws,
+                        ShortestPathTree& tree) {
+  tree.reset(source, g.num_nodes(), options.metric, options.padded);
 
   ws.begin(g.num_nodes());
   FourAryHeap& heap = ws.heap();
@@ -126,25 +126,97 @@ ShortestPathTree dijkstra_tree(const Graph& g, NodeId source,
     }
   }
   flush_kernel_counts(pushes, pops, relax_attempts);
-  return tree;
 }
 
 }  // namespace
 
-ShortestPathTree shortest_tree(const Graph& g, NodeId source,
-                               const FailureMask& mask, SpfOptions options,
-                               SpfWorkspace& workspace) {
+void shortest_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
+                        SpfOptions options, SpfWorkspace& workspace,
+                        ShortestPathTree& out) {
   require(source < g.num_nodes(), "shortest_tree: source out of range");
   require(mask.node_alive(source), "shortest_tree: source router is failed");
   if (options.metric == Metric::Hops && !options.padded) {
-    return bfs_tree(g, source, mask, options, workspace);
+    bfs_tree_into(g, source, mask, options, workspace, out);
+  } else {
+    dijkstra_tree_into(g, source, mask, options, workspace, out);
   }
-  return dijkstra_tree(g, source, mask, options, workspace);
+}
+
+ShortestPathTree shortest_tree(const Graph& g, NodeId source,
+                               const FailureMask& mask, SpfOptions options,
+                               SpfWorkspace& workspace) {
+  ShortestPathTree tree;
+  shortest_tree_into(g, source, mask, options, workspace, tree);
+  return tree;
 }
 
 ShortestPathTree shortest_tree(const Graph& g, NodeId source,
                                const FailureMask& mask, SpfOptions options) {
   return shortest_tree(g, source, mask, options, thread_workspace());
+}
+
+Weight bounded_distance(const Graph& g, NodeId s, NodeId t,
+                        const FailureMask& mask, SpfOptions options,
+                        SpfWorkspace& fwd, SpfWorkspace& bwd) {
+  require(!g.directed(), "bounded_distance: undirected graphs only");
+  require(!options.padded, "bounded_distance: distance queries never pad");
+  require(s < g.num_nodes() && t < g.num_nodes(),
+          "bounded_distance: node out of range");
+  if (!mask.node_alive(s) || !mask.node_alive(t)) return graph::kUnreachable;
+  if (s == t) return 0;
+
+  SpfWorkspace* ws[2] = {&fwd, &bwd};
+  const NodeId roots[2] = {s, t};
+  for (int side = 0; side < 2; ++side) {
+    ws[side]->begin(g.num_nodes());
+    ws[side]->node(roots[side]).key = 0;
+    ws[side]->heap().push(0, roots[side]);
+  }
+
+  std::uint64_t pushes = 2;
+  std::uint64_t pops = 0;
+  std::uint64_t relax_attempts = 0;
+  Weight best = graph::kUnreachable;
+
+  // Invariant: best is the length of some real s-t path (or kUnreachable).
+  // Any yet-undiscovered path must cross both frontiers, so it costs at
+  // least top(fwd) + top(bwd); once that bound reaches best we are done.
+  // A side running dry means its ball is complete: nothing new can appear.
+  while (!ws[0]->heap().empty() && !ws[1]->heap().empty()) {
+    if (ws[0]->heap().top().first + ws[1]->heap().top().first >= best) break;
+    const int side = ws[0]->heap().top().first <= ws[1]->heap().top().first
+                         ? 0
+                         : 1;
+    SpfWorkspace& mine = *ws[side];
+    SpfWorkspace& other = *ws[1 - side];
+    const auto [k, v] = mine.heap().pop();
+    ++pops;
+    SpfWorkspace::Node& nv = mine.node(v);
+    if (nv.settled || k != nv.key) continue;  // stale entry
+    nv.settled = true;
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge)) continue;
+      ++relax_attempts;
+      SpfWorkspace::Node& nt = mine.node(a.to);
+      const Weight alt = k + metric_weight(g, a.edge, options.metric);
+      if (!nt.settled && alt < nt.key) {
+        nt.key = alt;
+        mine.heap().push(alt, a.to);
+        ++pushes;
+      }
+      // Meeting check: any label on the other side is the length of a real
+      // path from the other endpoint, so alt + that label is a real s-t
+      // path length (undirectedness makes the halves composable).
+      if (other.touched(a.to)) {
+        const Weight there = other.node(a.to).key;
+        if (there != graph::kUnreachable && alt + there < best) {
+          best = alt + there;
+        }
+      }
+    }
+  }
+  flush_kernel_counts(pushes, pops, relax_attempts);
+  return best;
 }
 
 graph::Path shortest_path(const Graph& g, NodeId s, NodeId t,

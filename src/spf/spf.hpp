@@ -44,6 +44,30 @@ ShortestPathTree shortest_tree(const graph::Graph& g, graph::NodeId source,
                                const graph::FailureMask& mask,
                                SpfOptions options, SpfWorkspace& workspace);
 
+/// In-place variant: rebuilds `out` with the tree from `source`, reusing its
+/// SoA array capacity. Once `workspace` and `out` have been sized for the
+/// graph, a run performs zero heap allocations (beyond amortized heap-vector
+/// growth inside the workspace, which also reaches a fixed point). Output is
+/// bit-identical to shortest_tree — the storage strategy never influences
+/// results.
+void shortest_tree_into(const graph::Graph& g, graph::NodeId source,
+                        const graph::FailureMask& mask, SpfOptions options,
+                        SpfWorkspace& workspace, ShortestPathTree& out);
+
+/// Single-pair distance by bidirectional Dijkstra over caller-owned
+/// workspaces: expands a ball from each endpoint (always the side with the
+/// smaller frontier key) and stops when the frontiers prove no shorter
+/// meeting exists. On small-world graphs two balls of radius d/2 touch
+/// orders of magnitude fewer nodes than one ball of radius d, which is what
+/// makes uncached point queries viable at million-node scale
+/// (spf::DistanceOracle's bounded point-query mode). Allocation-free once
+/// the workspaces are warm. Undirected, unpadded runs only; returns
+/// kUnreachable when disconnected (or an endpoint is failed).
+graph::Weight bounded_distance(const graph::Graph& g, graph::NodeId s,
+                               graph::NodeId t, const graph::FailureMask& mask,
+                               SpfOptions options, SpfWorkspace& fwd,
+                               SpfWorkspace& bwd);
+
 /// Single-pair shortest path; the empty Path when t is unreachable from s.
 graph::Path shortest_path(const graph::Graph& g, graph::NodeId s,
                           graph::NodeId t,

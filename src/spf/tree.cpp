@@ -19,6 +19,19 @@ ShortestPathTree::ShortestPathTree(graph::NodeId source, std::size_t num_nodes,
   require(source < num_nodes, "ShortestPathTree: source out of range");
 }
 
+void ShortestPathTree::reset(graph::NodeId source, std::size_t num_nodes,
+                             Metric metric, bool padded) {
+  require(source < num_nodes, "ShortestPathTree::reset: source out of range");
+  source_ = source;
+  metric_ = metric;
+  padded_ = padded;
+  key_.assign(num_nodes, graph::kUnreachable);
+  dist_.assign(num_nodes, graph::kUnreachable);
+  hops_.assign(num_nodes, 0);
+  parent_.assign(num_nodes, graph::kInvalidNode);
+  parent_edge_.assign(num_nodes, graph::kInvalidEdge);
+}
+
 bool ShortestPathTree::reachable(graph::NodeId v) const {
   require(v < dist_.size(), "ShortestPathTree::reachable: node out of range");
   return dist_[v] != graph::kUnreachable;
@@ -61,6 +74,29 @@ graph::Path ShortestPathTree::path_to(const graph::Graph& g,
   std::reverse(nodes.begin(), nodes.end());
   std::reverse(edges.begin(), edges.end());
   return graph::Path::from_parts(g, std::move(nodes), std::move(edges));
+}
+
+graph::PathRef ShortestPathTree::path_to_ref(const graph::Graph& g,
+                                             graph::NodeId v,
+                                             graph::PathArena& arena) const {
+  (void)g;
+  require(reachable(v), "ShortestPathTree::path_to_ref: node not reachable");
+  arena.start();
+  for (graph::NodeId cur = v; cur != source_; cur = parent_[cur]) {
+    RBPC_ASSERT(cur != graph::kInvalidNode);
+    arena.add_node(cur);
+    arena.add_edge(parent_edge_[cur]);
+  }
+  arena.add_node(source_);
+  return arena.commit_reversed();
+}
+
+std::size_t ShortestPathTree::memory_bytes() const {
+  return key_.capacity() * sizeof(graph::Weight) +
+         dist_.capacity() * sizeof(graph::Weight) +
+         hops_.capacity() * sizeof(std::uint32_t) +
+         parent_.capacity() * sizeof(graph::NodeId) +
+         parent_edge_.capacity() * sizeof(graph::EdgeId);
 }
 
 graph::Weight ShortestPathTree::key(graph::NodeId v) const {

@@ -6,6 +6,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/path_arena.hpp"
 #include "graph/types.hpp"
 #include "spf/metric.hpp"
 
@@ -13,8 +14,20 @@ namespace rbpc::spf {
 
 class ShortestPathTree {
  public:
+  /// An empty placeholder tree (0 nodes); bring it to life with reset().
+  /// Lets engines hold reusable trees by value before the first build.
+  ShortestPathTree() = default;
+
   ShortestPathTree(graph::NodeId source, std::size_t num_nodes, Metric metric,
                    bool padded);
+
+  /// Re-initializes this tree for a new run, reusing the existing array
+  /// capacity: once the tree has been sized for `num_nodes` no further
+  /// heap allocation happens (vector::assign fills in place). The in-place
+  /// counterpart of constructing a fresh tree, used by shortest_tree_into
+  /// and the bulk builder.
+  void reset(graph::NodeId source, std::size_t num_nodes, Metric metric,
+             bool padded);
 
   graph::NodeId source() const { return source_; }
   Metric metric() const { return metric_; }
@@ -41,7 +54,18 @@ class ShortestPathTree {
   /// Reconstructs the tree path source -> v. Precondition: reachable(v).
   graph::Path path_to(const graph::Graph& g, graph::NodeId v) const;
 
+  /// Allocation-free counterpart of path_to: extracts the tree path into
+  /// `arena` and returns its handle. The chain is written target -> source
+  /// and committed with commit_reversed(), so extraction is one backwards
+  /// walk plus one in-place reverse. Precondition: reachable(v).
+  graph::PathRef path_to_ref(const graph::Graph& g, graph::NodeId v,
+                             graph::PathArena& arena) const;
+
   std::size_t num_nodes() const { return dist_.size(); }
+
+  /// Heap footprint of the SoA arrays (capacity), for the rbpc.mem.* gauges
+  /// and the DESIGN.md §11 bytes/node budget.
+  std::size_t memory_bytes() const;
 
   // Mutators used by the SPF implementations. `key` is the heap key
   // (== dist for unpadded runs); settling with key == kUnreachable resets
@@ -51,9 +75,9 @@ class ShortestPathTree {
               graph::EdgeId parent_edge);
 
  private:
-  graph::NodeId source_;
-  Metric metric_;
-  bool padded_;
+  graph::NodeId source_ = graph::kInvalidNode;
+  Metric metric_ = Metric::Hops;
+  bool padded_ = false;
   std::vector<graph::Weight> key_;
   std::vector<graph::Weight> dist_;
   std::vector<std::uint32_t> hops_;

@@ -45,6 +45,9 @@ class FourAryHeap {
     sift_up(items_.size() - 1);
   }
 
+  /// The minimum (key, node) without removing it. Precondition: !empty().
+  const Item& top() const { return items_.front(); }
+
   /// Removes and returns the minimum (key, node). Precondition: !empty().
   Item pop() {
     const Item top = items_.front();

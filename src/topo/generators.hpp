@@ -94,10 +94,18 @@ graph::Graph make_isp_like(const IspParams& params, Rng& rng);
 graph::Graph make_isp_like(Rng& rng, bool weighted = true);
 
 /// ~Table-1 "AS Graph" row: 4,746 nodes, ~9,878 links, avg degree ~4.16.
-/// `scale` in (0, 1] shrinks the instance proportionally for quick runs.
+/// `scale` multiplies the node count: values in (0, 1) shrink the instance
+/// for quick runs; values above 1 grow it with the same degree-preserving
+/// preferential-attachment process (the degree exponent and clustering are
+/// scale-free, so larger instances keep the Table-1 shape). Node counts:
+/// scale 1 -> 4,746; scale 5 -> 23,730; scale 25 -> 118,650 (edges scale
+/// at ~2.08x nodes).
 graph::Graph make_as_like(Rng& rng, double scale = 1.0);
 
 /// ~Table-1 "Internet" row: 40,377 nodes, ~101,659 links, avg deg ~5.03.
+/// `scale` as in make_as_like. Node counts: scale 1 -> 40,377; scale 5 ->
+/// 201,885; scale 25 -> 1,009,425 (edges scale at ~2.52x nodes — the
+/// scale-25 instance is the million-node benchmark topology, ~2.54M links).
 graph::Graph make_internet_like(Rng& rng, double scale = 1.0);
 
 }  // namespace rbpc::topo

@@ -22,6 +22,12 @@ void require(bool cond, const std::string& what, std::source_location loc) {
   }
 }
 
+void require(bool cond, const char* what, std::source_location loc) {
+  if (!cond) {
+    throw PreconditionError(what + (" [at " + locate(loc) + "]"));
+  }
+}
+
 void fail_internal(const char* expr, std::source_location loc) {
   // Internal invariants are programming errors: report and abort rather than
   // unwind, so the broken state is visible in a debugger/core dump.

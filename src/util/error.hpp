@@ -41,6 +41,14 @@ class NoRouteError : public Error {
 void require(bool cond, const std::string& what,
              std::source_location loc = std::source_location::current());
 
+/// Literal-message overload: the message string is only materialized on
+/// failure, so a passing check performs no heap allocation. String-literal
+/// call sites resolve here, which is what keeps require() admissible on the
+/// allocation-free restoration hot path (bench/micro_perf's zero-alloc
+/// gate).
+void require(bool cond, const char* what,
+             std::source_location loc = std::source_location::current());
+
 [[noreturn]] void fail_internal(
     const char* expr, std::source_location loc = std::source_location::current());
 

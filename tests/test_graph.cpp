@@ -95,6 +95,36 @@ TEST(Graph, FindEdgeAbsent) {
   EXPECT_FALSE(g.find_edge(0, 2).has_value());
 }
 
+TEST(Graph, CheapestArcParallelEdgeTieBreak) {
+  // Three parallel 0-1 links: two tied at the minimum weight, one heavier.
+  // The survivor of minimum weight must win, and among equal-weight
+  // survivors the lowest edge id — independent of which endpoint's
+  // adjacency the degree heuristic scans.
+  GraphBuilder b(3);
+  const EdgeId tied_lo = b.add_edge(0, 1, 2);
+  const EdgeId heavy = b.add_edge(0, 1, 9);
+  const EdgeId tied_hi = b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 1);  // skews degree(1) above degree(0)
+  const Graph g = b.build();
+
+  EXPECT_EQ(g.cheapest_arc(0, 1, FailureMask::none()), tied_lo);
+  EXPECT_EQ(g.cheapest_arc(1, 0, FailureMask::none()), tied_lo);
+
+  FailureMask mask;
+  mask.fail_edge(tied_lo);
+  EXPECT_EQ(g.cheapest_arc(0, 1, mask), tied_hi);
+  mask.fail_edge(tied_hi);
+  EXPECT_EQ(g.cheapest_arc(0, 1, mask), heavy);
+  mask.fail_edge(heavy);
+  EXPECT_EQ(g.cheapest_arc(0, 1, mask), kInvalidEdge);
+
+  // Dead endpoints and absent links answer kInvalidEdge, not a throw.
+  FailureMask dead;
+  dead.fail_node(1);
+  EXPECT_EQ(g.cheapest_arc(0, 1, dead), kInvalidEdge);
+  EXPECT_EQ(g.cheapest_arc(0, 2, FailureMask::none()), kInvalidEdge);
+}
+
 TEST(Graph, DirectedArcsOneWay) {
   GraphBuilder b(2, /*directed=*/true);
   b.add_edge(0, 1);

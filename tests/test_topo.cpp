@@ -145,7 +145,19 @@ TEST(Generators, InternetLikeScaledMatchesTable1Shape) {
 TEST(Generators, ScaleValidation) {
   Rng rng(1);
   EXPECT_THROW(make_as_like(rng, 0.0), PreconditionError);
-  EXPECT_THROW(make_as_like(rng, 1.5), PreconditionError);
+  EXPECT_THROW(make_as_like(rng, -1.0), PreconditionError);
+  EXPECT_THROW(make_internet_like(rng, 0.0), PreconditionError);
+}
+
+TEST(Generators, ScaleAboveOnePreservesDegree) {
+  // Growth beyond the Table-1 size must keep the degree structure: the
+  // attachment process is scale-free, so a 2x AS graph has the same average
+  // degree as the 1x instance.
+  Rng rng(19);
+  const Graph g = make_as_like(rng, 2.0);
+  EXPECT_EQ(g.num_nodes(), 9492u);  // 2 * 4746
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 4.16, 0.4);
 }
 
 // --- gadgets ---------------------------------------------------------------------------
