@@ -17,6 +17,10 @@
 //        --events N      transitions per drill (default 12)
 //        --ring N        ring size (default 9; the paper-gadget ring)
 //        --degrade 0|1   graceful-degradation ladder on (default 1)
+//        --flight-dump PATH  when any matrix cell reports a violation,
+//                            write a flight dump (trace tail + reason) here
+//                            so the red run ships its evidence as an
+//                            artifact
 //        --metrics-json PATH, --trace-out PATH, --obs-check LIST
 #include <cstdint>
 #include <iostream>
@@ -27,6 +31,7 @@
 #include "chaos/chaos_drill.hpp"
 #include "core/controller.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight_recorder.hpp"
 #include "spf/metric.hpp"
 #include "topo/generators.hpp"
 #include "util/cli.hpp"
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   const std::size_t events = args.get_uint("events", 12);
   const std::size_t ring = args.get_uint("ring", 9);
   const bool degrade = args.get_bool("degrade", true);
+  const std::string flight_dump = args.get_string("flight-dump", "");
   const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
 
   const graph::Graph g = topo::make_ring(ring);
@@ -132,6 +138,15 @@ int main(int argc, char** argv) {
   std::cerr << table.to_text() << "\n";
   int rc = obs_cli.finish();
   if (total_violations > 0) {
+    if (!flight_dump.empty()) {
+      // The drill engine has no RestorationService (no per-worker rings),
+      // so the dump carries the trace tail and the reason — enough to see
+      // which spans ran leading up to the violation.
+      obs::write_flight_dump(
+          flight_dump, nullptr,
+          "chaos acceptance matrix: " + std::to_string(total_violations) +
+              " invariant violations");
+    }
     std::cerr << "chaos drill FAILED: " << total_violations
               << " invariant violations\n";
     rc = 1;

@@ -16,7 +16,9 @@
 #include "core/decompose.hpp"
 #include "core/restoration.hpp"
 #include "graph/failure.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 #include "spf/bypass.hpp"
 #include "spf/incremental.hpp"
@@ -368,6 +370,106 @@ void BM_ObsSpan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSpan);
+
+void BM_RerouteRecordCapture(benchmark::State& state) {
+  // The introspection plane's entire per-reroute cost in one loop: request
+  // id, the eight stage stamps, the exemplar-carrying histogram record and
+  // the seqlock publish into a flight-recorder ring — everything
+  // RestorationService::run_reroute adds per pass. Under RBPC_OBS_DISABLED
+  // the body compiles away (same if constexpr gate as the service), so the
+  // disabled build measures an empty loop. CI gates this against
+  // BM_SourceRbpcRestore: capture must stay under 5% of a restore.
+  static obs::FlightRecorder recorder(1, 64);
+  static obs::Histogram latency =
+      obs::MetricsRegistry::global().histogram("bench.capture.latency");
+  for (auto _ : state) {
+    if constexpr (obs::kObsEnabled) {
+      obs::RerouteRecord rec;
+      rec.request_id = obs::next_request_id();
+      rec.enqueue_ns = obs::now_ns();
+      rec.start_ns = obs::now_ns();
+      rec.snapshot_ns = obs::now_ns();
+      rec.spf_ns = obs::now_ns();
+      rec.decompose_ns = obs::now_ns();
+      rec.install_ns = obs::now_ns();
+      rec.done_ns = obs::now_ns();
+      rec.demand = 1;
+      rec.src = 2;
+      rec.dst = 3;
+      rec.snapshot_version = 4;
+      rec.rung = static_cast<std::uint8_t>(obs::Rung::kRepaired);
+      rec.flags = obs::kFlagInstalled;
+      latency.record_with_exemplar((rec.done_ns - rec.start_ns) / 1000,
+                                   rec.request_id);
+      recorder.publish(0, rec);
+      benchmark::DoNotOptimize(rec);
+    } else {
+      benchmark::ClobberMemory();
+    }
+  }
+}
+BENCHMARK(BM_RerouteRecordCapture);
+
+void BM_ArenaRestoreTracedZeroAlloc(benchmark::State& state) {
+  // BM_ArenaRestoreZeroAlloc's measured loop with the request-trace capture
+  // riding along, proving the introspection plane keeps the warm path's
+  // zero-heap-allocation property: any allocation (from the capture OR the
+  // restore) fails the benchmark the same way.
+  const Graph& g = isp_graph();
+  spf::DistanceOracle oracle(g, FailureMask{}, spf::Metric::Weighted);
+  core::AllPairsShortestBaseSet base(oracle);
+  struct Case {
+    NodeId s;
+    NodeId t;
+    FailureMask mask;
+  };
+  Rng rng(13);
+  std::vector<Case> cases;
+  while (cases.size() < 16) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (s == t) continue;
+    const graph::Path lsp = oracle.canonical_path(s, t);
+    if (lsp.hops() < 1) continue;
+    FailureMask mask;
+    mask.fail_edge(lsp.edge(rng.below(lsp.hops())));
+    cases.push_back(Case{s, t, std::move(mask)});
+  }
+  core::RestoreScratch scratch;
+  for (const Case& c : cases) {
+    core::source_rbpc_restore_into(base, c.s, c.t, c.mask, scratch);
+  }
+  obs::FlightRecorder recorder(1, 64);
+  static obs::Histogram latency =
+      obs::MetricsRegistry::global().histogram("bench.capture.latency");
+  const std::uint64_t before = heap_allocs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Case& c = cases[i++ % cases.size()];
+    if constexpr (obs::kObsEnabled) {
+      obs::RerouteRecord rec;
+      rec.request_id = obs::next_request_id();
+      rec.start_ns = obs::now_ns();
+      core::source_rbpc_restore_into(base, c.s, c.t, c.mask, scratch);
+      rec.done_ns = obs::now_ns();
+      rec.src = c.s;
+      rec.dst = c.t;
+      rec.rung = static_cast<std::uint8_t>(obs::Rung::kCached);
+      latency.record_with_exemplar((rec.done_ns - rec.start_ns) / 1000,
+                                   rec.request_id);
+      recorder.publish(0, rec);
+    } else {
+      core::source_rbpc_restore_into(base, c.s, c.t, c.mask, scratch);
+    }
+    benchmark::DoNotOptimize(scratch.backup);
+  }
+  const std::uint64_t allocs = heap_allocs() - before;
+  state.counters["heap_allocs"] = static_cast<double>(allocs);
+  if (allocs != 0) {
+    state.SkipWithError("traced warm restoration allocated on the heap");
+  }
+}
+BENCHMARK(BM_ArenaRestoreTracedZeroAlloc);
 
 void BM_ObsSpanTraced(benchmark::State& state) {
   // Tracer enabled: adds one short mutexed append to a per-thread buffer.

@@ -39,11 +39,28 @@
 //        --queue N           MPMC queue capacity (default 64)
 //        --loss P            LSA loss probability (default 0.1)
 //        --metrics-json PATH, --trace-out PATH, --obs-check LIST
+//
+// Introspection-plane flags:
+//        --slo-p99-us N      windowed-p99 objective for svc.restore.latency
+//                            in microseconds (default 200000; 0 disables).
+//                            A breach at the end-of-run tick exits 1.
+//        --slo-no-route-pm N no-route demands per-mille objective
+//                            (svc.no_route / svc.demands, default 1000 =
+//                            permissive; tighten in CI)
+//        --flight-dump PATH  write the violating service's flight-recorder
+//                            JSON here when an invariant trips (first
+//                            violation wins) — the red-run artifact
+//        --serve-port N      start a scrape endpoint on 127.0.0.1:N for the
+//                            whole run (0 = ephemeral; the bound port is
+//                            printed to stderr). CI curls /metrics mid-run.
+//        --serve-hold-ms N   keep the endpoint up N ms after the storms
+//                            finish so an external scraper can land
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,7 +72,10 @@
 #include "corpus.hpp"
 #include "graph/failure.hpp"
 #include "graph/graph.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "service/service.hpp"
 #include "spf/metric.hpp"
 #include "spf/oracle.hpp"
@@ -167,7 +187,43 @@ int main(int argc, char** argv) {
   const std::size_t shards = args.get_uint("shards", 4);
   const std::size_t queue = args.get_uint("queue", 64);
   const double loss = args.get_double("loss", 0.1);
+  const std::uint64_t slo_p99_us = args.get_uint("slo-p99-us", 200'000);
+  const std::uint64_t slo_no_route_pm = args.get_uint("slo-no-route-pm", 1000);
+  const std::string flight_dump = args.get_string("flight-dump", "");
+  const bool serve = args.has("serve-port");
+  const auto serve_port =
+      static_cast<std::uint16_t>(args.get_uint("serve-port", 0));
+  const std::uint64_t serve_hold_ms = args.get_uint("serve-hold-ms", 0);
   const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
+
+  // SLO objectives over the service's own histograms/gauges. The tracker is
+  // ticked by every endpoint scrape and once at end of run, so with no
+  // scraper the single window covers the whole run.
+  std::vector<obs::SloObjective> objectives;
+  if (slo_p99_us > 0) {
+    objectives.push_back(obs::SloObjective{
+        .name = "restore_p99",
+        .histogram = "svc.restore.latency",
+        .quantile = 0.99,
+        .threshold = slo_p99_us,
+    });
+  }
+  obs::SloTracker slo(
+      obs::MetricsRegistry::global(), std::move(objectives),
+      {obs::SloRatioObjective{.name = "no_route",
+                              .numerator = "svc.no_route",
+                              .denominator = "svc.demands",
+                              .max_per_mille = slo_no_route_pm}});
+
+  std::unique_ptr<obs::ExpositionServer> endpoint;
+  if (serve) {
+    obs::ExpositionOptions eo;
+    eo.port = serve_port;
+    eo.slo = &slo;
+    endpoint = std::make_unique<obs::ExpositionServer>(eo);
+    std::cerr << "serving metrics on 127.0.0.1:" << endpoint->port()
+              << " (/metrics, /metrics.json, /slo)\n";
+  }
 
   // Largest topologies first: those are where hub fan-out and path length
   // make concurrent reroutes expensive enough to race for real.
@@ -197,6 +253,7 @@ int main(int argc, char** argv) {
   std::size_t total_violations = 0;
   std::uint64_t total_reroutes = 0;
   std::uint64_t total_wall_ns = 0;
+  bool flight_dumped = false;
 
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     const Graph& g = cases[ci].g;
@@ -238,9 +295,18 @@ int main(int argc, char** argv) {
               std::chrono::steady_clock::now() - t0)
               .count());
 
-      violations += check_invariants(svc, storm, demands, options.metric,
-                                     cases[ci].name + " storm " +
-                                         std::to_string(s));
+      const std::size_t storm_violations =
+          check_invariants(svc, storm, demands, options.metric,
+                           cases[ci].name + " storm " + std::to_string(s));
+      violations += storm_violations;
+      if (storm_violations > 0 && !flight_dump.empty() && !flight_dumped) {
+        // Ship the evidence from the service that actually failed: its
+        // rings still hold the last reroutes (request ids, ladder rungs,
+        // stage timings) that produced the divergent table.
+        flight_dumped = svc.flight_recorder().dump_to_file(
+            flight_dump, "service churn invariant violation: " +
+                             cases[ci].name + " storm " + std::to_string(s));
+      }
       const ServiceStats stats = svc.stats();
       reroutes += stats.reroutes;
       installs += stats.installs;
@@ -279,7 +345,27 @@ int main(int argc, char** argv) {
             << latency.quantile(0.99) << " (" << latency.count()
             << " reroutes)\n";
 
+  // End-of-run SLO tick: with no external scraper this makes the single
+  // window the whole run; with one it just adds the final interval. The
+  // slo.* gauges land in the --metrics-json scrape taken by finish().
+  slo.tick();
+  for (const obs::SloTracker::Status& st : slo.status()) {
+    std::cerr << "slo " << st.name << ": value " << st.value << " objective "
+              << st.objective << " burn_pm " << st.burn_pm
+              << (st.breached ? " BREACHED" : " ok") << "\n";
+  }
+
+  if (endpoint != nullptr && serve_hold_ms > 0) {
+    std::cerr << "holding endpoint for " << serve_hold_ms << " ms\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+  }
+
   int rc = obs_cli.finish();
+  if (slo.last_breached() > 0) {
+    std::cerr << "service churn FAILED: " << slo.last_breached()
+              << " SLO objectives breached\n";
+    rc = 1;
+  }
   if (total_violations > 0) {
     std::cerr << "service churn FAILED: " << total_violations
               << " invariant violations\n";

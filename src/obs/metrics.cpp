@@ -36,6 +36,10 @@ void HistogramCells::reset() {
     for (auto& b : row.buckets) b.store(0, std::memory_order_relaxed);
     row.sum.store(0, std::memory_order_relaxed);
   }
+  for (ExemplarCell& cell : exemplars) {
+    cell.id.store(0, std::memory_order_relaxed);
+    cell.value.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace detail
@@ -105,7 +109,18 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   }
   out.histograms.reserve(histograms_.size());
   for (const auto& [name, cells] : histograms_) {
-    out.histograms.push_back({name, cells->snapshot()});
+    Snapshot::HistogramSample sample;
+    sample.name = name;
+    sample.hist = cells->snapshot();
+    bool any = false;
+    std::vector<Snapshot::Exemplar> ex(LatencyHistogram::kBuckets);
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      ex[b].id = cells->exemplars[b].id.load(std::memory_order_relaxed);
+      ex[b].value = cells->exemplars[b].value.load(std::memory_order_relaxed);
+      any |= ex[b].id != 0;
+    }
+    if (any) sample.exemplars = std::move(ex);
+    out.histograms.push_back(std::move(sample));
   }
   return out;
 }

@@ -92,14 +92,29 @@ struct alignas(64) HistogramRow {
   std::atomic<std::uint64_t> sum{0};
 };
 
+/// Last exemplar observed per bucket: a (request id, value) pair recorded
+/// best-effort with relaxed stores (last writer wins; a torn pair across
+/// the two words is possible and harmless — exemplars are debugging
+/// pointers, not counters). id 0 means "no exemplar".
+struct ExemplarCell {
+  std::atomic<std::uint64_t> id{0};
+  std::atomic<std::uint64_t> value{0};
+};
+
 struct HistogramCells {
   HistogramRow rows[kStripes];
+  ExemplarCell exemplars[LatencyHistogram::kBuckets];
 
   void record(std::uint64_t value, std::uint64_t weight) {
     HistogramRow& row = rows[stripe_index()];
     row.buckets[LatencyHistogram::bucket_of(value)].fetch_add(
         weight, std::memory_order_relaxed);
     row.sum.fetch_add(value * weight, std::memory_order_relaxed);
+  }
+  void record_exemplar(std::uint64_t value, std::uint64_t id) {
+    ExemplarCell& cell = exemplars[LatencyHistogram::bucket_of(value)];
+    cell.value.store(value, std::memory_order_relaxed);
+    cell.id.store(id, std::memory_order_relaxed);
   }
   LatencyHistogram snapshot() const;
   void reset();
@@ -193,6 +208,23 @@ class Histogram {
     }
   }
 
+  /// record() plus attaching `id` as the bucket's exemplar (the request id
+  /// of a concrete occurrence that landed in that bucket — see
+  /// obs/request_trace.hpp). id 0 records no exemplar.
+  void record_with_exemplar(std::uint64_t value, std::uint64_t id,
+                            std::uint64_t weight = 1) {
+    if constexpr (kObsEnabled) {
+      if (cells_ != nullptr) {
+        cells_->record(value, weight);
+        if (id != 0) cells_->record_exemplar(value, id);
+      }
+    } else {
+      (void)value;
+      (void)id;
+      (void)weight;
+    }
+  }
+
   /// Merged snapshot across all stripes.
   LatencyHistogram snapshot() const {
     if constexpr (kObsEnabled) {
@@ -237,9 +269,16 @@ class MetricsRegistry {
       std::string name;
       std::int64_t value;
     };
+    struct Exemplar {
+      std::uint64_t id = 0;  ///< 0 = bucket has no exemplar
+      std::uint64_t value = 0;
+    };
     struct HistogramSample {
       std::string name;
       LatencyHistogram hist;
+      /// Per-bucket exemplars, index-aligned with the histogram's buckets
+      /// (empty when the histogram never recorded one).
+      std::vector<Exemplar> exemplars;
     };
     std::vector<CounterSample> counters;
     std::vector<GaugeSample> gauges;

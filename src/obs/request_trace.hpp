@@ -1,0 +1,91 @@
+// Causal per-reroute tracing: the RerouteRecord lifecycle POD.
+//
+// Every reroute the always-on service runs gets a process-unique request id
+// at ingest (the moment enqueue_demand wins the dedup CAS) and carries it
+// through the whole pipeline: MPMC queue -> EBR snapshot pin -> SPF /
+// incremental repair -> greedy decomposition -> FEC install -> revalidation
+// re-enqueue. Each stage stamps a steady-clock nanosecond timestamp into a
+// fixed-size POD RerouteRecord built on the worker's stack — no heap
+// allocation anywhere on the warm path (the same discipline as the arena
+// restore kernels; bench/micro_perf's BM_RerouteRecordCapture measures the
+// full capture + publish cost). When the reroute finishes, the record is
+// published into the service's FlightRecorder ring (flight_recorder.hpp)
+// and its request id is attached as an exemplar to the svc.restore.latency
+// histogram bucket the reroute landed in, so a scrape's tail bucket names
+// a concrete reroute to go look up in the flight dump.
+//
+// The record also captures *which rung of the graceful-degradation ladder*
+// served the reroute (see core/degrade.hpp and DESIGN.md section 9/10):
+// cached tree -> incremental repair -> scratch SPF -> stale-FEC retention
+// (queue-full deferral) -> explicit no-route. A flight dump after a failed
+// drill therefore shows not just how slow each reroute was but how far it
+// degraded and why.
+//
+// With RBPC_OBS_DISABLED the service compiles the capture out entirely
+// (~0 ns); this header stays included so the types remain nameable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rbpc::obs {
+
+/// Graceful-degradation ladder rung a reroute was served from, worst rung
+/// reached wins. Ordered: higher = further down the ladder.
+enum class Rung : std::uint8_t {
+  kCached = 0,    ///< base/pooled tree was already settled (cache hit)
+  kRepaired = 1,  ///< incremental SPT repair from the unfailed base tree
+  kScratch = 2,   ///< from-scratch SPF (repair fallback or no pooled view)
+  kStaleFec = 3,  ///< queue-full deferral: stale FEC retained, catch up later
+  kNoRoute = 4,   ///< destination unreachable: explicit empty route
+};
+
+/// Human-readable rung name ("cached", "repaired", ...).
+const char* rung_name(Rung r);
+
+/// RerouteRecord flag bits.
+inline constexpr std::uint8_t kFlagInstalled = 1u << 0;    ///< route changed
+inline constexpr std::uint8_t kFlagRevalidated = 1u << 1;  ///< re-enqueued
+inline constexpr std::uint8_t kFlagDeferred = 1u << 2;     ///< sat in deferred set
+
+/// One reroute's lifecycle. Plain trivially-copyable data: built on the
+/// worker's stack, published into the flight recorder by relaxed atomic
+/// word stores (see flight_recorder.hpp). A zero timestamp means the stage
+/// was never reached (e.g. decompose_ns stays 0 when the destination was
+/// unreachable). Timestamps are obs::now_ns() values from one steady
+/// clock, so cross-record ordering is meaningful.
+struct RerouteRecord {
+  std::uint64_t request_id = 0;  ///< process-unique, assigned at ingest
+  std::uint64_t enqueue_ns = 0;  ///< enqueue_demand won the dedup CAS
+  std::uint64_t start_ns = 0;    ///< a worker dequeued the demand
+  std::uint64_t snapshot_ns = 0; ///< LSDB snapshot pinned (EBR slot held)
+  std::uint64_t spf_ns = 0;      ///< shortest-path tree ready
+  std::uint64_t decompose_ns = 0;///< greedy decomposition done
+  std::uint64_t install_ns = 0;  ///< FEC install lock released
+  std::uint64_t done_ns = 0;     ///< record sealed (after revalidation check)
+  std::uint64_t snapshot_version = 0;  ///< LSDB version rerouted against
+  std::uint32_t demand = 0;      ///< demand index in the service
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t worker = 0;      ///< worker slot that ran the reroute
+  std::uint8_t rung = 0;         ///< Rung, worst reached
+  std::uint8_t flags = 0;        ///< kFlag* bits
+  std::uint8_t pad_[6] = {};     ///< keep the packed word count stable
+
+  /// 64-bit words a record packs into (flight-recorder slot width).
+  static constexpr std::size_t kWords = 12;
+
+  /// Packs the record into `words` / unpacks it back. The layout is
+  /// internal to the flight recorder; the round-trip is exact.
+  void pack(std::uint64_t words[kWords]) const;
+  static RerouteRecord unpack(const std::uint64_t words[kWords]);
+};
+
+static_assert(sizeof(RerouteRecord) == RerouteRecord::kWords * 8,
+              "RerouteRecord packs into kWords 64-bit words");
+
+/// Process-wide request-id source: returns 1, 2, 3, ... Ids are never
+/// reused; 0 is reserved as "no request".
+std::uint64_t next_request_id();
+
+}  // namespace rbpc::obs

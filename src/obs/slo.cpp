@@ -1,0 +1,161 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace rbpc::obs {
+
+LatencyHistogram histogram_delta(const LatencyHistogram& cur,
+                                 const LatencyHistogram& prev) {
+  LatencyHistogram out;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t c = cur.bucket_count(b);
+    const std::uint64_t p = prev.bucket_count(b);
+    if (c > p) out.add_bucket(b, c - p, 0);
+  }
+  if (cur.sum() > prev.sum()) out.add_bucket(0, 0, cur.sum() - prev.sum());
+  return out;
+}
+
+namespace {
+
+/// Fraction (per-mille) of the histogram's mass in buckets whose entire
+/// range lies above `threshold` — a lower bound on the true fraction of
+/// samples over the threshold (the bucket containing the threshold is not
+/// counted, mirroring the factor-of-two quantile bound).
+std::uint64_t over_threshold_pm(const LatencyHistogram& h,
+                                std::uint64_t threshold) {
+  if (h.empty()) return 0;
+  std::uint64_t over = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (LatencyHistogram::bucket_lo(b) > threshold) over += h.bucket_count(b);
+  }
+  return over * 1000 / h.count();
+}
+
+}  // namespace
+
+SloTracker::SloTracker(MetricsRegistry& registry,
+                       std::vector<SloObjective> objectives,
+                       std::vector<SloRatioObjective> ratios)
+    : registry_(registry), breach_c_(registry.counter("slo.breach")) {
+  for (SloObjective& o : objectives) {
+    QuantileState st;
+    st.value_g = registry_.gauge("slo." + o.name + ".value");
+    st.objective_g = registry_.gauge("slo." + o.name + ".objective");
+    st.burn_g = registry_.gauge("slo." + o.name + ".burn_pm");
+    st.breached_g = registry_.gauge("slo." + o.name + ".breached");
+    st.objective = std::move(o);
+    quantiles_.push_back(std::move(st));
+  }
+  for (SloRatioObjective& o : ratios) {
+    RatioState st;
+    st.value_g = registry_.gauge("slo." + o.name + ".value");
+    st.objective_g = registry_.gauge("slo." + o.name + ".objective");
+    st.breached_g = registry_.gauge("slo." + o.name + ".breached");
+    st.objective = std::move(o);
+    ratios_.push_back(std::move(st));
+  }
+}
+
+std::size_t SloTracker::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Status> status;
+  std::size_t breached = 0;
+
+  for (QuantileState& st : quantiles_) {
+    const LatencyHistogram cum =
+        registry_.histogram(st.objective.histogram).snapshot();
+    st.window.push_back(histogram_delta(cum, st.last));
+    st.last = cum;
+    while (st.window.size() > kWindowTicks) st.window.pop_front();
+
+    LatencyHistogram windowed;
+    for (const LatencyHistogram& h : st.window) windowed.merge(h);
+
+    Status s;
+    s.name = st.objective.name;
+    s.objective = st.objective.threshold;
+    if (!windowed.empty()) {
+      s.value = windowed.quantile(st.objective.quantile);
+      const double budget = 1.0 - st.objective.quantile;
+      const std::uint64_t over = over_threshold_pm(windowed,
+                                                   st.objective.threshold);
+      s.burn_pm = budget > 0.0
+                      ? static_cast<std::uint64_t>(
+                            static_cast<double>(over) / budget)
+                      : 0;
+      s.breached = s.value > st.objective.threshold;
+    }
+    st.value_g.set(static_cast<std::int64_t>(s.value));
+    st.objective_g.set(static_cast<std::int64_t>(s.objective));
+    st.burn_g.set(static_cast<std::int64_t>(s.burn_pm));
+    st.breached_g.set(s.breached ? 1 : 0);
+    if (s.breached) ++breached;
+    status.push_back(std::move(s));
+  }
+
+  for (RatioState& st : ratios_) {
+    const std::int64_t num =
+        registry_.gauge(st.objective.numerator).value();
+    const std::int64_t den =
+        registry_.gauge(st.objective.denominator).value();
+    Status s;
+    s.name = st.objective.name;
+    s.objective = st.objective.max_per_mille;
+    if (den > 0 && num > 0) {
+      s.value = static_cast<std::uint64_t>(num) * 1000 /
+                static_cast<std::uint64_t>(den);
+    }
+    s.breached = s.value > st.objective.max_per_mille;
+    // Burn rate for a ratio objective: observed fraction over allowed
+    // fraction, per-mille (1000 = exactly at the objective).
+    s.burn_pm = st.objective.max_per_mille > 0
+                    ? s.value * 1000 / st.objective.max_per_mille
+                    : (s.value > 0 ? 1000000 : 0);
+    st.value_g.set(static_cast<std::int64_t>(s.value));
+    st.objective_g.set(static_cast<std::int64_t>(s.objective));
+    st.breached_g.set(s.breached ? 1 : 0);
+    if (s.breached) ++breached;
+    status.push_back(std::move(s));
+  }
+
+  breach_c_.add(breached);
+  total_breaches_ += breached;
+  last_breached_ = breached;
+  last_status_ = std::move(status);
+  return breached;
+}
+
+std::size_t SloTracker::last_breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_breached_;
+}
+
+std::uint64_t SloTracker::total_breaches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_breaches_;
+}
+
+std::vector<SloTracker::Status> SloTracker::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+std::string SloTracker::to_json() const {
+  const std::vector<Status> st = status();
+  std::ostringstream os;
+  os << "{\n  \"objectives\": [";
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << st[i].name
+       << "\", \"value\": " << st[i].value
+       << ", \"objective\": " << st[i].objective
+       << ", \"burn_pm\": " << st[i].burn_pm
+       << ", \"breached\": " << (st[i].breached ? "true" : "false") << "}";
+  }
+  os << (st.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace rbpc::obs

@@ -33,11 +33,20 @@ struct ThreadTraceBuffer {
 
   void append(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
     std::lock_guard<std::mutex> lock(mu);
-    if (events.size() >= Tracer::kMaxEventsPerThread) {
+    if (events.size() >= owner.max_events_per_thread()) {
       owner.dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Registry mirror: scrapes see buffer exhaustion without asking the
+      // tracer. Resolved lazily so the tracer has no construction-order
+      // dependency on the registry.
+      static Counter dropped_c =
+          MetricsRegistry::global().counter("obs.trace.dropped");
+      dropped_c.inc();
       return;
     }
     events.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+    static Gauge buffered_g =
+        MetricsRegistry::global().gauge("obs.trace.buffered");
+    buffered_g.add(1);
   }
 
   Tracer& owner;
@@ -76,6 +85,7 @@ void Tracer::clear() {
     buf->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
+  MetricsRegistry::global().gauge("obs.trace.buffered").set(0);
 }
 
 std::string Tracer::to_chrome_json() const {

@@ -58,9 +58,12 @@ struct TraceEvent {
 
 /// Process-wide trace collector. Disabled by default: spans check one
 /// relaxed atomic and skip the buffer entirely. Cap: each thread keeps at
-/// most kMaxEventsPerThread events; once full, further events are counted
-/// as dropped rather than recorded, so a forgotten enable() cannot exhaust
-/// memory.
+/// most max_events_per_thread() events (default kMaxEventsPerThread,
+/// tunable for long-running services); once full, further events are
+/// counted as dropped rather than recorded — mirrored into the registry
+/// as the obs.trace.dropped counter, with obs.trace.buffered gauging the
+/// events currently held — so a forgotten enable() cannot grow trace
+/// memory without bound.
 class Tracer {
  public:
   static Tracer& global();
@@ -70,6 +73,15 @@ class Tracer {
   void enable() { enabled_.store(true, std::memory_order_relaxed); }
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Caps each thread's event buffer (applies to future appends; already
+  /// buffered events stay). 0 is clamped to 1.
+  void set_max_events_per_thread(std::size_t cap) {
+    max_events_.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
+  }
+  std::size_t max_events_per_thread() const {
+    return max_events_.load(std::memory_order_relaxed);
+  }
 
   /// Appends one event to the calling thread's buffer (registering the
   /// buffer on first use). Called by SpanScope; usable directly for
@@ -99,6 +111,7 @@ class Tracer {
   Tracer() = default;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_events_{kMaxEventsPerThread};
   std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;  // guards buffers_ / retired_ / next_tid_
   std::vector<struct ThreadTraceBuffer*> buffers_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/decompose.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -67,6 +68,15 @@ RestorationService::RestorationService(const graph::Graph& g,
       base_(oracle_),
       edge_demands_(g.num_edges()),
       queue_(options.queue_capacity),
+      reroutes_(registry().counter("svc.reroutes")),
+      installs_(registry().counter("svc.installs")),
+      revalidations_(registry().counter("svc.revalidations")),
+      deferred_count_(registry().counter("svc.deferred")),
+      snapshots_(registry().counter("svc.snapshots")),
+      no_route_g_(registry().gauge("svc.no_route")),
+      flight_(options.workers == 0 ? ThreadPool::default_threads()
+                                   : options.workers,
+              options.flight_ring),
       pool_threads_(options.workers) {
   for (const Demand& d : demands) {
     require(d.src < g.num_nodes() && d.dst < g.num_nodes(),
@@ -95,16 +105,44 @@ RestorationService::RestorationService(const graph::Graph& g,
       edge_demands_[e].push_back(static_cast<std::uint32_t>(i));
     }
   }
+  no_route_g_.set(static_cast<std::int64_t>(no_route_count_));
+  registry().gauge("svc.demands").set(
+      static_cast<std::int64_t>(demands_.size()));
+
+  if (options_.serve_metrics) {
+    obs::ExpositionOptions eo;
+    eo.port = options_.metrics_port;
+    eo.flight = &flight_;
+    eo.slo = options_.slo;
+    exposition_ = std::make_unique<obs::ExpositionServer>(eo);
+  }
 
   for (std::size_t w = 0; w < pool_threads_.size(); ++w) {
-    pool_threads_.submit([this] { worker_loop(); });
+    pool_threads_.submit([this, w] { worker_loop(w); });
   }
 }
 
+// Out-of-line so the unique_ptr<ExpositionServer> member destroys where the
+// type is complete. Member order does the rest: pool_threads_ (workers) dies
+// first, then exposition_ (the server joins before the rings it reads go).
 RestorationService::~RestorationService() { stop(); }
 
 void RestorationService::stop() {
   stopping_.store(true, std::memory_order_seq_cst);
+}
+
+std::uint16_t RestorationService::metrics_port() const {
+  return exposition_ != nullptr ? exposition_->port() : 0;
+}
+
+void RestorationService::maybe_dump_flight(const char* reason) {
+  if (options_.flight_dump_path.empty()) return;
+  bool expected = false;
+  if (!escalation_dumped_.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+    return;  // first escalation already shipped the evidence
+  }
+  flight_.dump_to_file(options_.flight_dump_path, reason);
 }
 
 bool RestorationService::ingest(const lsdb::LinkEvent& ev) {
@@ -135,18 +173,41 @@ bool RestorationService::ingest(const lsdb::LinkEvent& ev) {
 }
 
 void RestorationService::enqueue_demand(std::size_t d) {
+  DemandState& st = demands_[d];
   bool expected = false;
-  if (!demands_[d].queued.compare_exchange_strong(expected, true,
-                                                  std::memory_order_seq_cst)) {
+  if (!st.queued.compare_exchange_strong(expected, true,
+                                         std::memory_order_seq_cst)) {
     return;  // already pending; its task will snapshot fresh state
+  }
+  if constexpr (obs::kObsEnabled) {
+    // Winning the dedup CAS starts a new causal pass: assign its request id
+    // here so every stage downstream — queue, snapshot, SPF, decompose,
+    // install, revalidation — reports under one id. The worker that clears
+    // `queued` is the only reader, ordered through the flag.
+    st.request_id.store(obs::next_request_id(), std::memory_order_relaxed);
+    st.enqueue_ns.store(obs::now_ns(), std::memory_order_relaxed);
+    st.was_deferred.store(false, std::memory_order_relaxed);
   }
   inflight_.fetch_add(1, std::memory_order_seq_cst);
   if (!queue_.push(d)) {
     // Overload: the ladder's stale-FEC rung. The route stays as it is and
     // the demand waits in the deferred set until the queue has room.
-    static obs::Counter deferred_c = registry().counter("svc.deferred");
-    deferred_c.inc();
-    deferred_count_.fetch_add(1, std::memory_order_relaxed);
+    deferred_count_.inc();
+    if constexpr (obs::kObsEnabled) {
+      st.was_deferred.store(true, std::memory_order_relaxed);
+      obs::RerouteRecord rec;
+      rec.request_id = st.request_id.load(std::memory_order_relaxed);
+      rec.enqueue_ns = st.enqueue_ns.load(std::memory_order_relaxed);
+      rec.done_ns = obs::now_ns();
+      rec.demand = static_cast<std::uint32_t>(d);
+      rec.src = st.src;
+      rec.dst = st.dst;
+      rec.worker = static_cast<std::uint32_t>(flight_.workers());
+      rec.rung = static_cast<std::uint8_t>(obs::Rung::kStaleFec);
+      rec.flags = obs::kFlagDeferred;
+      flight_.publish_control(rec);
+      maybe_dump_flight("degradation ladder: queue-full deferral");
+    }
     std::lock_guard<std::mutex> lock(deferred_mu_);
     deferred_.push_back(d);
   }
@@ -160,11 +221,11 @@ void RestorationService::drain_deferred() {
   }
 }
 
-void RestorationService::worker_loop() {
+void RestorationService::worker_loop(std::size_t worker) {
   std::size_t d = 0;
   for (;;) {
     if (queue_.pop(d)) {
-      run_reroute(d);
+      run_reroute(d, worker);
       continue;
     }
     if (stopping_.load(std::memory_order_seq_cst)) return;
@@ -173,11 +234,9 @@ void RestorationService::worker_loop() {
   }
 }
 
-void RestorationService::run_reroute(std::size_t d) {
+void RestorationService::run_reroute(std::size_t d, std::size_t worker) {
   RBPC_TRACE_SPAN("svc.reroute");
   static obs::Histogram latency = registry().histogram("svc.restore.latency");
-  static obs::Counter reroutes_c = registry().counter("svc.reroutes");
-  const std::uint64_t t0 = obs::now_ns();
 
   DemandState& st = demands_[d];
   // Balance the pending count even if the reroute throws, or quiesce()
@@ -187,50 +246,104 @@ void RestorationService::run_reroute(std::size_t d) {
     ~InflightGuard() { n.fetch_sub(1, std::memory_order_seq_cst); }
   } guard{inflight_};
 
+  // The causal record for this pass lives on the stack — no allocation on
+  // the warm path. The trace fields must be read *before* the dedup flag is
+  // cleared below: afterwards a fresh enqueue may overwrite them.
+  obs::RerouteRecord rec;
+  if constexpr (obs::kObsEnabled) {
+    rec.request_id = st.request_id.load(std::memory_order_relaxed);
+    rec.enqueue_ns = st.enqueue_ns.load(std::memory_order_relaxed);
+    if (st.was_deferred.load(std::memory_order_relaxed)) {
+      rec.flags |= obs::kFlagDeferred;
+    }
+    rec.demand = static_cast<std::uint32_t>(d);
+    rec.src = st.src;
+    rec.dst = st.dst;
+    rec.worker = static_cast<std::uint32_t>(worker);
+    rec.start_ns = obs::now_ns();
+  }
+
   // Clear the dedup flag *before* snapshotting: an event applied after the
   // snapshot re-enqueues the demand rather than being swallowed.
   st.queued.store(false, std::memory_order_seq_cst);
 
   ShardedLsdb::Snapshot snap = lsdb_.snapshot();
-  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  snapshots_.inc();
   const std::uint64_t v = snap.version();
   const FailureMask mask = snap.to_mask();
+  if constexpr (obs::kObsEnabled) {
+    rec.snapshot_ns = obs::now_ns();
+    rec.snapshot_version = v;
+  }
 
   core::Restoration r;
   std::shared_ptr<spf::TreeCache> view;  // keeps an evicted view alive
   std::shared_ptr<const spf::ShortestPathTree> tree;
+  spf::TreeOutcome outcome = spf::TreeOutcome::kHit;
   {
     RBPC_TRACE_SPAN("svc.spf");
     if (mask.empty()) {
-      tree = pool_.base().tree(st.src);
+      tree = pool_.base().tree(st.src, &outcome);
     } else {
       view = pool_.cache_for(mask);
-      tree = view->tree(st.src);
+      tree = view->tree(st.src, &outcome);
     }
   }
-  if (tree->reachable(st.dst)) {
+  if constexpr (obs::kObsEnabled) {
+    rec.spf_ns = obs::now_ns();
+    // TreeOutcome is the ladder position this pass actually ran at: a
+    // settled tree is the cached rung, a repaired tree the incremental
+    // rung, scratch SPF (direct or repair bail-out) the scratch rung.
+    switch (outcome) {
+      case spf::TreeOutcome::kHit:
+        rec.rung = static_cast<std::uint8_t>(obs::Rung::kCached);
+        break;
+      case spf::TreeOutcome::kRepaired:
+        rec.rung = static_cast<std::uint8_t>(obs::Rung::kRepaired);
+        break;
+      case spf::TreeOutcome::kScratch:
+      case spf::TreeOutcome::kFallback:
+        rec.rung = static_cast<std::uint8_t>(obs::Rung::kScratch);
+        break;
+    }
+  }
+  const bool reachable = tree->reachable(st.dst);
+  if (reachable) {
     r.backup = tree->path_to(g_, st.dst);
     RBPC_TRACE_SPAN("svc.decompose");
     std::lock_guard<std::mutex> lock(base_mu_);
     r.decomposition = core::greedy_decompose(base_, r.backup);
   }
+  if constexpr (obs::kObsEnabled) {
+    rec.decompose_ns = obs::now_ns();
+    if (!reachable) rec.rung = static_cast<std::uint8_t>(obs::Rung::kNoRoute);
+  }
 
   if (install(d, std::move(r), v)) {
-    installs_.fetch_add(1, std::memory_order_relaxed);
+    installs_.inc();
+    if constexpr (obs::kObsEnabled) rec.flags |= obs::kFlagInstalled;
   }
-  reroutes_.fetch_add(1, std::memory_order_relaxed);
-  reroutes_c.inc();
-  latency.record((obs::now_ns() - t0) / 1000);
+  reroutes_.inc();
+  if constexpr (obs::kObsEnabled) rec.install_ns = obs::now_ns();
 
   // Revalidation: events applied during the computation may not have seen
   // the route we just installed when they scanned for affected demands.
   // Any version movement past our snapshot re-queues the demand; the rerun
   // snapshots fresh state and usually installs the identical route.
   if (lsdb_.version() != v) {
-    static obs::Counter reval_c = registry().counter("svc.revalidations");
-    reval_c.inc();
-    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    revalidations_.inc();
+    if constexpr (obs::kObsEnabled) rec.flags |= obs::kFlagRevalidated;
     enqueue_demand(d);
+  }
+
+  if constexpr (obs::kObsEnabled) {
+    rec.done_ns = obs::now_ns();
+    latency.record_with_exemplar((rec.done_ns - rec.start_ns) / 1000,
+                                 rec.request_id);
+    flight_.publish(worker, rec);
+    if (!reachable) {
+      maybe_dump_flight("degradation ladder: no-route install");
+    }
   }
 }
 
@@ -250,6 +363,7 @@ bool RestorationService::install(std::size_t d, core::Restoration r,
     }
     if (st.route.restored() && !r.restored()) ++no_route_count_;
     if (!st.route.restored() && r.restored()) --no_route_count_;
+    no_route_g_.set(static_cast<std::int64_t>(no_route_count_));
     st.route = std::move(r);
     st.dirty = !(st.route.backup == st.baseline.backup);
   }
@@ -291,11 +405,14 @@ ServiceStats RestorationService::stats() const {
   s.events_applied = lsdb_.version();
   s.events_discarded =
       lsdb_.duplicates_discarded() + lsdb_.stale_discarded();
-  s.reroutes = reroutes_.load(std::memory_order_relaxed);
-  s.installs = installs_.load(std::memory_order_relaxed);
-  s.revalidations = revalidations_.load(std::memory_order_relaxed);
-  s.deferred = deferred_count_.load(std::memory_order_relaxed);
-  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  // Single source of truth: these are the same InstanceCounters that feed
+  // the registry's svc.* series, so a scrape and stats() cannot disagree
+  // about this instance (the registry additionally sums across instances).
+  s.reroutes = reroutes_.value();
+  s.installs = installs_.value();
+  s.revalidations = revalidations_.value();
+  s.deferred = deferred_count_.value();
+  s.snapshots = snapshots_.value();
   {
     std::lock_guard<std::mutex> lock(routes_mu_);
     s.no_route = no_route_count_;

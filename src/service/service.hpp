@@ -42,12 +42,20 @@
 #include "core/restoration.hpp"
 #include "graph/graph.hpp"
 #include "lsdb/lsdb.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "service/mpmc_queue.hpp"
 #include "service/sharded_lsdb.hpp"
 #include "spf/metric.hpp"
 #include "spf/oracle.hpp"
 #include "spf/tree_pool.hpp"
 #include "util/thread_pool.hpp"
+
+namespace rbpc::obs {
+class ExpositionServer;
+class SloTracker;
+}  // namespace rbpc::obs
 
 namespace rbpc::service {
 
@@ -63,6 +71,23 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;///< MPMC ring size (rounded up to 2^k)
   spf::Metric metric = spf::Metric::Hops;
   std::size_t max_views = 8;       ///< SnapshotTreePool LRU bound
+
+  // --- Introspection plane (obs/) ---
+  /// Per-worker flight-recorder ring size (RerouteRecords kept per worker;
+  /// rounded up to a power of two).
+  std::size_t flight_ring = 64;
+  /// When nonempty, the service writes one flight-recorder JSON dump here
+  /// the first time the degradation ladder escalates past scratch SPF
+  /// (queue-full deferral or an explicit no-route install) — red runs ship
+  /// their own evidence without anyone asking.
+  std::string flight_dump_path;
+  /// Opt-in scrape endpoint: serve /metrics (Prometheus), /metrics.json,
+  /// /flight and /slo on 127.0.0.1:metrics_port (0 = ephemeral; read the
+  /// bound port from RestorationService::metrics_port()).
+  bool serve_metrics = false;
+  std::uint16_t metrics_port = 0;
+  /// Ticked on every scrape when set (must outlive the service).
+  obs::SloTracker* slo = nullptr;
 };
 
 /// Point-in-time service counters (exact once quiesced).
@@ -121,9 +146,19 @@ class RestorationService {
 
   ServiceStats stats() const;
 
+  /// The service's flight recorder (always present; rings are only written
+  /// when the obs plane is compiled in).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  /// The bound scrape port, or 0 when serve_metrics is off.
+  std::uint16_t metrics_port() const;
+
  private:
   /// Per-demand state. Routes / dirty / stamp / reverse index are guarded
-  /// by routes_mu_; `queued` is the lock-free enqueue dedup flag.
+  /// by routes_mu_; `queued` is the lock-free enqueue dedup flag. The
+  /// request-trace fields ride the same dedup protocol: the enqueuer that
+  /// wins the CAS stamps request_id/enqueue_ns, and the worker that later
+  /// clears `queued` is the only reader — so plain release/acquire pairs
+  /// through `queued` would suffice, but atomics keep TSan's model exact.
   struct DemandState {
     graph::NodeId src = 0;
     graph::NodeId dst = 0;
@@ -132,15 +167,20 @@ class RestorationService {
     core::Restoration route;     ///< current route
     bool dirty = false;          ///< route != baseline
     std::uint64_t stamp = 0;     ///< snapshot version of the last install
+    std::atomic<std::uint64_t> request_id{0};   ///< causal id of this pass
+    std::atomic<std::uint64_t> enqueue_ns{0};   ///< when the pass was queued
+    std::atomic<bool> was_deferred{false};      ///< pass hit the queue-full rung
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker);
   /// Marks the demand pending and queues it (deferred set on overflow).
   void enqueue_demand(std::size_t d);
   /// Moves deferred demands into the queue while there is room.
   void drain_deferred();
   /// One reroute task: snapshot, compute, install, revalidate.
-  void run_reroute(std::size_t d);
+  void run_reroute(std::size_t d, std::size_t worker);
+  /// One-shot flight dump when the ladder escalates past scratch SPF.
+  void maybe_dump_flight(const char* reason);
   /// Installs `r` for demand d (stamp = snapshot version); returns whether
   /// the route changed. Caller must NOT hold routes_mu_.
   bool install(std::size_t d, core::Restoration r, std::uint64_t stamp);
@@ -171,11 +211,22 @@ class RestorationService {
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> stopping_{false};
 
-  std::atomic<std::uint64_t> reroutes_{0};
-  std::atomic<std::uint64_t> installs_{0};
-  std::atomic<std::uint64_t> revalidations_{0};
-  std::atomic<std::uint64_t> deferred_count_{0};
-  std::atomic<std::uint64_t> snapshots_{0};
+  // Service counters: per-instance values mirrored into the process-wide
+  // MetricsRegistry (svc.reroutes / svc.installs / ...) through a single
+  // increment site each — stats() and a registry scrape can no longer
+  // drift apart.
+  obs::InstanceCounter reroutes_;
+  obs::InstanceCounter installs_;
+  obs::InstanceCounter revalidations_;
+  obs::InstanceCounter deferred_count_;
+  obs::InstanceCounter snapshots_;
+  obs::Gauge no_route_g_;  ///< mirrors no_route_count_ (set under routes_mu_)
+
+  obs::FlightRecorder flight_;
+  std::atomic<bool> escalation_dumped_{false};
+  /// Owned scrape endpoint (serve_metrics); declared after flight_ so the
+  /// server stops before the rings it reads are torn down.
+  std::unique_ptr<obs::ExpositionServer> exposition_;
 
   ThreadPool pool_threads_;  ///< last member: workers die first
 };

@@ -44,7 +44,7 @@ TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
 }
 
 std::shared_ptr<const ShortestPathTree> TreeCache::compute(
-    graph::NodeId source) {
+    graph::NodeId source, TreeOutcome* outcome) {
   // The repair path pays off only when there is a delta to repair; an
   // identical mask (base == this configuration) would just memcpy trees.
   if (base_ != nullptr && !mask_.empty()) {
@@ -60,8 +60,10 @@ std::shared_ptr<const ShortestPathTree> TreeCache::compute(
     }
     if (report.kind == RepairKind::kScratch) {
       repair_fallbacks_.inc();
+      if (outcome != nullptr) *outcome = TreeOutcome::kFallback;
     } else {
       repairs_.inc();
+      if (outcome != nullptr) *outcome = TreeOutcome::kRepaired;
     }
     return tree;
   }
@@ -69,11 +71,12 @@ std::shared_ptr<const ShortestPathTree> TreeCache::compute(
   auto tree = std::make_shared<ShortestPathTree>(
       shortest_tree(g_, source, mask_, options_));
   scratch_.inc();
+  if (outcome != nullptr) *outcome = TreeOutcome::kScratch;
   return tree;
 }
 
 std::shared_ptr<const ShortestPathTree> TreeCache::tree(
-    graph::NodeId source) {
+    graph::NodeId source, TreeOutcome* outcome) {
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -88,9 +91,10 @@ std::shared_ptr<const ShortestPathTree> TreeCache::tree(
   // sources proceed in parallel while same-source callers block here.
   // call_once leaves the flag unset on exception, so a failed source
   // throws to every waiter and is retried by later calls.
+  if (outcome != nullptr) *outcome = TreeOutcome::kHit;
   bool computed = false;
   std::call_once(entry->once, [&] {
-    entry->tree = compute(source);
+    entry->tree = compute(source, outcome);
     entry->ready.store(true, std::memory_order_release);
     computed = true;
   });

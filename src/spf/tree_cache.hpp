@@ -49,6 +49,16 @@ struct TreeCacheOptions {
   std::size_t max_entries = 0;
 };
 
+/// How a tree() call was served — the introspection plane's stage hook:
+/// the service maps this onto its graceful-degradation ladder rung when it
+/// records a RerouteRecord (obs/request_trace.hpp).
+enum class TreeOutcome : std::uint8_t {
+  kHit = 0,       ///< tree was already settled (or a concurrent compute won)
+  kRepaired = 1,  ///< computed by incremental SPT repair from the base tree
+  kScratch = 2,   ///< computed by from-scratch SPF (no base, or empty delta)
+  kFallback = 3,  ///< repair bailed to from-scratch SPF (orphan region too big)
+};
+
 class TreeCache {
  public:
   /// From-scratch cache. Copies `mask`; `g` must outlive the cache. Throws
@@ -75,7 +85,13 @@ class TreeCache {
   /// entry is evicted or cleared concurrently. Throws PreconditionError
   /// (like spf::shortest_tree) when `source` is failed or out of range —
   /// such a failed attempt is not cached and a later call retries.
-  std::shared_ptr<const ShortestPathTree> tree(graph::NodeId source);
+  std::shared_ptr<const ShortestPathTree> tree(graph::NodeId source) {
+    return tree(source, nullptr);
+  }
+  /// Same, reporting how the call was served into *outcome (when non-null):
+  /// kHit when this call ran no SPF, otherwise which kind of SPF it ran.
+  std::shared_ptr<const ShortestPathTree> tree(graph::NodeId source,
+                                               TreeOutcome* outcome);
 
   /// Cumulative counters across the cache's lifetime: a miss is a tree()
   /// call that ran SPF itself, a hit is one that found (or waited for) an
@@ -112,7 +128,8 @@ class TreeCache {
     std::atomic<std::uint64_t> last_used{0};
   };
 
-  std::shared_ptr<const ShortestPathTree> compute(graph::NodeId source);
+  std::shared_ptr<const ShortestPathTree> compute(graph::NodeId source,
+                                                  TreeOutcome* outcome);
   void evict_over_cap();
 
   const graph::Graph& g_;

@@ -13,14 +13,19 @@
 // way).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/histogram.hpp"
 
 namespace rbpc::obs {
 namespace {
@@ -297,6 +302,153 @@ TEST(TraceSpan, ConcurrentSpansAllRecorded) {
   EXPECT_EQ(spans, static_cast<std::size_t>(kThreads) * kSpansPer);
   EXPECT_EQ(tracer.dropped(), 0u);
   tracer.clear();
+}
+
+TEST(TraceSpan, BoundedBufferCountsDropsIntoTheRegistry) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with RBPC_OBS_DISABLED";
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  const std::size_t old_cap = tracer.max_events_per_thread();
+  const std::uint64_t dropped_before = tracer.dropped();
+  const std::uint64_t reg_before =
+      MetricsRegistry::global().counter("obs.trace.dropped").value();
+  tracer.set_max_events_per_thread(16);
+  tracer.enable();
+  // A fresh thread gets an empty buffer, so exactly cap events fit and the
+  // overflow is a deterministic 64 - 16.
+  std::thread([&tracer] {
+    for (int i = 0; i < 64; ++i) {
+      tracer.record("test.drop.span", now_ns(), 1);
+    }
+  }).join();
+  tracer.disable();
+  EXPECT_EQ(tracer.dropped() - dropped_before, 64u - 16u);
+  EXPECT_EQ(MetricsRegistry::global().counter("obs.trace.dropped").value() -
+                reg_before,
+            64u - 16u);
+  // The buffered gauge tracks live events and clears with the buffers.
+  EXPECT_GE(MetricsRegistry::global().gauge("obs.trace.buffered").value(),
+            16);
+  tracer.clear();
+  EXPECT_EQ(MetricsRegistry::global().gauge("obs.trace.buffered").value(), 0);
+  tracer.set_max_events_per_thread(old_cap);
+
+  std::size_t kept = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (std::string(e.name) == "test.drop.span") ++kept;
+  }
+  EXPECT_EQ(kept, 0u);  // clear() dropped them
+}
+
+TEST(TraceSpan, ZeroCapClampsToOne) {
+  Tracer& tracer = Tracer::global();
+  const std::size_t old_cap = tracer.max_events_per_thread();
+  tracer.set_max_events_per_thread(0);
+  EXPECT_EQ(tracer.max_events_per_thread(), 1u);
+  tracer.set_max_events_per_thread(old_cap);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(Exposition, NameSanitization) {
+  EXPECT_EQ(prometheus_name("svc.restore.latency"), "svc_restore_latency");
+  EXPECT_EQ(prometheus_name("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(prometheus_name("bad-chars and+spaces"), "bad_chars_and_spaces");
+  EXPECT_EQ(prometheus_name("0starts.with.digit"), "_0starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(Exposition, CountersGaugesAndHistogramShape) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with RBPC_OBS_DISABLED";
+  MetricsRegistry reg;
+  reg.counter("exp.count").add(5);
+  reg.gauge("exp.gauge").set(-3);
+  Histogram h = reg.histogram("exp.lat");
+  h.record(0);
+  h.record(3);
+  h.record(3);
+  h.record(900);
+  const std::string text = to_prometheus(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE exp_count_total counter"), std::string::npos);
+  EXPECT_NE(text.find("exp_count_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exp_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("exp_gauge -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exp_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("exp_lat_sum 906"), std::string::npos);
+  EXPECT_NE(text.find("exp_lat_count 4"), std::string::npos);
+  // The +Inf bucket carries the total count.
+  EXPECT_NE(text.find("exp_lat_bucket{le=\"+Inf\"} 4"), std::string::npos);
+
+  // Bucket series are cumulative: counts never decrease as le increases.
+  std::istringstream lines(text);
+  std::string line;
+  double prev = -1.0;
+  std::size_t buckets = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("exp_lat_bucket{", 0) != 0) continue;
+    const std::size_t sp = line.rfind(' ');
+    const double count = std::stod(line.substr(sp + 1));
+    EXPECT_GE(count, prev) << line;
+    prev = count;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 3u);
+}
+
+TEST(Exposition, ExemplarSyntaxOnBucketLines) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with RBPC_OBS_DISABLED";
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("exp.ex");
+  h.record_with_exemplar(100, 4242);
+  h.record(100);  // plain record must not disturb the exemplar
+  const std::string text = to_prometheus(reg.snapshot());
+  // OpenMetrics-style: `<bucket sample> # {request_id="4242"} 100`.
+  const std::size_t pos = text.find("# {request_id=\"4242\"} 100");
+  ASSERT_NE(pos, std::string::npos) << text;
+  const std::size_t line_start = text.rfind('\n', pos) + 1;
+  EXPECT_EQ(text.compare(line_start, 14, "exp_ex_bucket{"), 0)
+      << "exemplar must ride a bucket line";
+  // id 0 is "no exemplar": nothing recorded for an untagged histogram.
+  MetricsRegistry reg2;
+  reg2.histogram("exp.plain").record_with_exemplar(7, 0);
+  EXPECT_EQ(to_prometheus(reg2.snapshot()).find("request_id"),
+            std::string::npos);
+}
+
+// --- Quantile error bound --------------------------------------------------
+
+TEST(LatencyHistogramBound, QuantileIsUpperBoundWithinFactorTwo) {
+  // The documented contract (util/histogram.hpp, relied on by SLO
+  // objectives): the reported quantile is >= the true quantile and < 2x it
+  // for true values >= 1 (bucket i spans [2^(i-1), 2^i), reported as its
+  // upper bound). Checked against an exact nearest-rank computation over
+  // assorted value shapes.
+  const std::vector<std::vector<std::uint64_t>> shapes = {
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+      {1, 1, 1, 1000},
+      {7, 13, 255, 256, 257, 4096, 70'000},
+      {1'000'000, 2'000'000, 3'000'000},
+      {0, 0, 0, 0, 1},
+  };
+  for (const auto& values : shapes) {
+    LatencyHistogram h;
+    std::vector<std::uint64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (const std::uint64_t v : values) h.record(v);
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      // Same nearest-rank definition as the histogram: smallest 1-based
+      // rank r with r >= q * n.
+      const std::size_t rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(sorted.size()))));
+      const std::uint64_t exact = sorted[rank - 1];
+      const std::uint64_t reported = h.quantile(q);
+      EXPECT_GE(reported, exact) << "q=" << q;
+      EXPECT_LT(reported, 2 * std::max<std::uint64_t>(exact, 1))
+          << "q=" << q << " exact=" << exact;
+    }
+  }
 }
 
 }  // namespace

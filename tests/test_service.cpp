@@ -28,11 +28,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "chaos/fault_plan.hpp"
 #include "chaos/storm.hpp"
@@ -42,6 +49,9 @@
 #include "graph/graph.hpp"
 #include "lsdb/event_queue.hpp"
 #include "lsdb/lsdb.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "service/epoch.hpp"
 #include "service/mpmc_queue.hpp"
 #include "service/service.hpp"
@@ -637,6 +647,72 @@ TEST(ServiceProperty, InterleavingIndependenceMatrix) {
 // schedule, all invariants asserted live. The TSan CI job runs this.
 // ---------------------------------------------------------------------------
 
+TEST(ServiceStress, LadderEscalationDumpsFlightRecorder) {
+  if (!obs::kObsEnabled) {
+    GTEST_SKIP() << "request tracing disabled in this build";
+  }
+  const Graph g = [] {
+    Rng rng(3007);
+    return topo::make_barabasi_albert(24, 2, 0.3, rng, 0.4);
+  }();
+  Rng rng(778);
+  const std::vector<Demand> demands = random_demands(g, 48, rng);
+  chaos::StormConfig config = storm_config();
+  config.events = 24;
+  const chaos::Storm storm = chaos::plan_storm(g, config, rng);
+
+  const std::string dump_path =
+      ::testing::TempDir() + "rbpc_flight_escalation.json";
+  std::remove(dump_path.c_str());
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;  // force queue-full stale-FEC deferrals
+  options.flight_dump_path = dump_path;
+  RestorationService svc(g, demands, options);
+  for (const chaos::StormEvent& d : storm.deliveries) svc.ingest(d.event);
+  svc.quiesce();
+  const ServiceStats stats = svc.stats();
+  svc.stop();
+
+  // 48 demands funneled through a 2-deep queue: bursts must have deferred.
+  ASSERT_GT(stats.deferred, 0u);
+  // The first escalation past scratch SPF dumps the flight recorder once.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.is_open()) << "no flight dump at " << dump_path;
+  const std::string dump((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(dump.find("queue-full deferral"), std::string::npos);
+  EXPECT_NE(dump.find("\"request_id\""), std::string::npos);
+  EXPECT_NE(dump.find("stale-fec"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+/// Minimal HTTP/1.0 GET against 127.0.0.1:port; returns the full response
+/// (headers + body), empty on connect failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
 TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
   const Graph g = [] {
     Rng rng(3005);
@@ -652,7 +728,9 @@ TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
   options.workers = 4;
   options.shards = 4;
   options.queue_capacity = 8;  // small: exercise the deferred path too
+  options.serve_metrics = true;  // scrape through the live endpoint too
   RestorationService svc(g, demands, options);
+  ASSERT_NE(svc.metrics_port(), 0);
 
   // Split the stream between two ingest threads. Each thread preserves its
   // slice's order; the cross-thread interleaving is whatever the scheduler
@@ -680,6 +758,22 @@ TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
     }
     EXPECT_GT(observations, 0u);
   });
+  std::thread http_scraper([&] {
+    // Same races as the in-process scraper, but through the exposition
+    // server: the full scrape path (registry shards, flight-recorder
+    // seqlock rings, HTTP framing) must stay coherent while workers
+    // publish. Runs under TSan in CI like the rest of this binary.
+    std::uint64_t ok = 0;
+    while (!churn_done.load(std::memory_order_acquire)) {
+      const std::string resp = http_get(svc.metrics_port(), "/metrics");
+      if (!resp.empty()) {
+        ASSERT_NE(resp.find("200 OK"), std::string::npos);
+        ++ok;
+      }
+      (void)http_get(svc.metrics_port(), "/flight");
+    }
+    EXPECT_GT(ok, 0u);
+  });
   std::thread ingest_a([&] {
     for (const chaos::StormEvent& d : even) svc.ingest(d.event);
   });
@@ -691,6 +785,7 @@ TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
   svc.quiesce();
   churn_done.store(true, std::memory_order_release);
   scraper.join();
+  http_scraper.join();
 
   // Post-quiescence chaos invariants: view == truth, table == serial.
   expect_view_matches_truth(svc, storm, "stress");
@@ -701,6 +796,36 @@ TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
   EXPECT_GT(stats.reroutes, 0u);
   EXPECT_EQ(stats.events_applied + stats.events_discarded,
             storm.deliveries.size());
+
+  if (obs::kObsEnabled) {
+    // Request-trace lifecycle: every flight-recorder record carries a live
+    // request id and a rung from the degradation ladder, and its stage
+    // timestamps are causally ordered.
+    const std::vector<obs::RerouteRecord> records =
+        svc.flight_recorder().collect();
+    ASSERT_FALSE(records.empty());
+    for (const obs::RerouteRecord& rec : records) {
+      EXPECT_NE(rec.request_id, 0u);
+      EXPECT_LE(rec.rung, static_cast<std::uint8_t>(obs::Rung::kNoRoute));
+      if (rec.rung != static_cast<std::uint8_t>(obs::Rung::kStaleFec)) {
+        EXPECT_LE(rec.start_ns, rec.done_ns);
+        EXPECT_LE(rec.snapshot_ns, rec.spf_ns);
+        EXPECT_LE(rec.spf_ns, rec.decompose_ns);
+      }
+    }
+    // ServiceStats and the registry agree: stats() reads the same
+    // InstanceCounters that mirror into the global registry, so the
+    // process-wide counter can only be >= this instance's share.
+    EXPECT_GE(obs::MetricsRegistry::global().counter("svc.reroutes").value(),
+              stats.reroutes);
+    EXPECT_GE(obs::MetricsRegistry::global().counter("svc.deferred").value(),
+              stats.deferred);
+    // And the endpoint serves the same families a Prometheus scraper needs.
+    const std::string final_scrape = http_get(svc.metrics_port(), "/metrics");
+    EXPECT_NE(final_scrape.find("svc_reroutes_total"), std::string::npos);
+    EXPECT_NE(final_scrape.find("svc_restore_latency_bucket"),
+              std::string::npos);
+  }
   svc.stop();
 }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two bench metrics scrapes and fail on latency regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [options]
+
+Both files are MetricsRegistry JSON scrapes (the --metrics-json artifact
+benches write: {"counters": {...}, "gauges": {...}, "histograms": {...}},
+each histogram carrying precomputed p50/p90/p99 plus sparse [lo, hi, count]
+buckets). For every histogram present in BOTH files the script compares the
+p50/p99 quantiles and reports the relative change; a histogram whose p99
+grew more than --max-regress (default 25%) fails the run with exit 1.
+
+Two dampers keep the power-of-two bucket layout from crying wolf:
+
+  * --min-abs US (default 50): a p99 below this in both files is ignored —
+    at the bottom of the bucket range one bucket step is a huge relative
+    change but an irrelevant absolute one.
+  * bucket quantization: quantiles land on bucket upper bounds (factor-of-
+    two apart), so a genuine <25% shift is usually invisible and a reported
+    shift is usually a full bucket (2x). The default threshold therefore
+    effectively means "fails when p99 crosses into a higher bucket".
+
+Counters and gauges are printed for context (--verbose) but never gate.
+
+Options:
+    --max-regress F   maximum allowed relative p99 growth (default 0.25)
+    --min-abs N       ignore histograms whose p99 is below N in both scrapes
+                      (default 50)
+    --filter PREFIX   only gate histograms whose name starts with PREFIX
+                      (may repeat; default: all)
+    --verbose         also print unchanged histograms and gauge deltas
+
+Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.25)
+    ap.add_argument("--min-abs", type=int, default=50)
+    ap.add_argument("--filter", action="append", default=[])
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_h = base.get("histograms", {})
+    cur_h = cur.get("histograms", {})
+
+    common = sorted(set(base_h) & set(cur_h))
+    if args.filter:
+        common = [n for n in common if any(n.startswith(p) for p in args.filter)]
+    if not common:
+        print("bench_diff: no common histograms to compare (ok)")
+        return 0
+
+    failures = 0
+    for name in common:
+        b99, c99 = base_h[name].get("p99", 0), cur_h[name].get("p99", 0)
+        b50, c50 = base_h[name].get("p50", 0), cur_h[name].get("p50", 0)
+        if b99 < args.min_abs and c99 < args.min_abs:
+            if args.verbose:
+                print(f"  {name}: p99 {b99} -> {c99} (below --min-abs, skipped)")
+            continue
+        growth = (c99 - b99) / b99 if b99 > 0 else (1.0 if c99 > 0 else 0.0)
+        status = "ok"
+        if growth > args.max_regress:
+            status = "REGRESSION"
+            failures += 1
+        if status != "ok" or args.verbose or growth != 0:
+            print(
+                f"  {name}: p50 {b50} -> {c50}, "
+                f"p99 {b99} -> {c99} ({growth:+.0%}) {status}"
+            )
+
+    if args.verbose:
+        base_g = base.get("gauges", {})
+        for name, v in sorted(cur.get("gauges", {}).items()):
+            if name in base_g and base_g[name] != v:
+                print(f"  gauge {name}: {base_g[name]} -> {v}")
+
+    if failures:
+        print(f"bench_diff: {failures} histogram(s) regressed past "
+              f"{args.max_regress:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: {len(common)} histogram(s) compared, no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scrape (stdin or file argument).
+
+Checks the invariants a scraper depends on, against the exposition
+src/obs/exposition.cpp produces:
+
+  * every sample line's metric name matches [a-zA-Z_:][a-zA-Z0-9_:]* and is
+    preceded by a matching `# TYPE <family> <counter|gauge|histogram>` line;
+  * counter family names end in `_total`;
+  * histogram `_bucket` series have non-decreasing counts as `le`
+    increases (cumulativity), end with an le="+Inf" bucket whose count
+    equals the family's `_count` sample, and `_sum`/`_count` are present;
+  * exemplars (`# {request_id="N"} value` suffix) parse and only appear on
+    bucket lines;
+  * values parse as numbers.
+
+With --require NAME (repeatable), the named families must be present —
+CI passes --require svc_reroutes_total --require svc_restore_latency to
+prove the scrape it curled mid-churn actually carried the service series.
+
+Exit codes: 0 valid, 1 invalid or missing required family, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>[0-9.eE+-]+|NaN|[+-]Inf)'
+    r'(?P<exemplar> # \{[^}]*\} [0-9.eE+-]+)?$'
+)
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def le_key(le):
+    return float("inf") if le == "+Inf" else float(le)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="scrape file (default stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    help="family name that must be present (repeatable)")
+    args = ap.parse_args()
+
+    text = open(args.file).read() if args.file else sys.stdin.read()
+    errors = []
+    types = {}          # family -> declared type
+    buckets = {}        # family -> list of (le, count)
+    counts = {}         # family -> _count value
+    seen_families = set()
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE"):
+            m = TYPE_RE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: malformed TYPE comment: {line!r}")
+                continue
+            types[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("#"):
+            continue  # HELP or other comments: ignored
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        fam = family_of(name)
+        seen_families.add(fam)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE comment")
+            continue
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: invalid metric name {name!r}")
+        if types[fam] == "counter" and not fam.endswith("_total"):
+            errors.append(f"line {lineno}: counter family {fam} lacks _total")
+        if m.group("exemplar") and not name.endswith("_bucket"):
+            errors.append(f"line {lineno}: exemplar on non-bucket sample {name}")
+        value = m.group("value")
+        if name.endswith("_bucket"):
+            le = LE_RE.search(m.group("labels") or "")
+            if not le:
+                errors.append(f"line {lineno}: bucket sample without le label")
+            else:
+                buckets.setdefault(fam, []).append(
+                    (le_key(le.group(1)), float(value)))
+        elif name.endswith("_count") and types.get(fam) == "histogram":
+            counts[fam] = float(value)
+
+    for fam, series in sorted(buckets.items()):
+        ordered = sorted(series)
+        values = [c for _, c in ordered]
+        if values != sorted(values):
+            errors.append(f"family {fam}: bucket counts are not cumulative")
+        if not ordered or ordered[-1][0] != float("inf"):
+            errors.append(f"family {fam}: missing le=\"+Inf\" bucket")
+        elif fam in counts and ordered[-1][1] != counts[fam]:
+            errors.append(
+                f"family {fam}: +Inf bucket {ordered[-1][1]} != _count "
+                f"{counts[fam]}")
+
+    for fam in args.require:
+        if fam not in seen_families and fam not in types:
+            errors.append(f"required family {fam} absent from scrape")
+
+    if errors:
+        for e in errors:
+            print(f"check_exposition: {e}", file=sys.stderr)
+        return 1
+    print(f"check_exposition: ok ({len(seen_families)} families, "
+          f"{len(buckets)} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
