@@ -1,0 +1,272 @@
+// Multi-failure restoration bench: the k-failure acceptance matrix.
+//
+// Sweeps the shared test corpus under k-edge failure sets (uniform random
+// plus SRLG group cuts) and restores sampled demand pairs with BOTH
+// restoration tiebreaks, recording the label-stack depth (concatenation
+// piece count) of each. The headline artifact, BENCH_multifail.json,
+// carries two histograms —
+//
+//   multifail.stack.arbitrary    greedy cover of the canonical route
+//   multifail.stack.restorable   fewest-piece minimum-cost concatenation
+//
+// — plus per-run counters/gauges. The run FAILS (exit 1) when:
+//   * any restoration violates its lemma bound (Theorem 1 / Theorem 2 for
+//     the failure count actually in effect), or
+//   * any instance needs more pieces under Restorable than Arbitrary (the
+//     structural guarantee of core::restore_multi), or
+//   * the restorable mean stack depth exceeds the arbitrary mean — the
+//     tentpole claim the paper-repro makes for k >= 2.
+//
+// Human narration goes to stderr; stdout carries only artifacts requested
+// with "-" (bench_obs.hpp convention).
+//
+// Flags: --seed N        base seed (default 1)
+//        --k LIST        comma-separated failure counts (default 2,4,8)
+//        --trials N      failure sets per (topology, k) cell (default 4)
+//        --pairs N       demand pairs per failure set (default 4)
+//        --srlg 0|1      also sweep SRLG group-cut scenarios (default 1)
+//        --tiebreak M    arbitrary | restorable | both (default both;
+//                        single-mode runs still record only their own
+//                        histogram, for the CI matrix's per-mode cells)
+//        --metric M      hops | weighted (default hops)
+//        --metrics-json PATH, --trace-out PATH, --obs-check LIST
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_obs.hpp"
+#include "chaos/srlg.hpp"
+#include "core/base_set.hpp"
+#include "core/multi_failure.hpp"
+#include "corpus.hpp"
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "spf/metric.hpp"
+#include "spf/oracle.hpp"
+#include "spf/spf.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rbpc;
+using core::RestoreTiebreak;
+
+/// k distinct random edge failures (clipped to the edge count).
+graph::FailureMask random_failures(const graph::Graph& g, std::size_t k,
+                                   Rng& rng) {
+  graph::FailureMask mask;
+  const std::uint64_t take = std::min<std::uint64_t>(k, g.num_edges());
+  for (const std::uint64_t e : rng.sample_distinct(g.num_edges(), take)) {
+    mask.fail_edge(static_cast<graph::EdgeId>(e));
+  }
+  return mask;
+}
+
+std::size_t lemma_bound(spf::Metric metric, std::size_t k) {
+  return metric == spf::Metric::Hops ? k + 1 : 2 * k + 1;
+}
+
+struct ModeStats {
+  std::size_t restored = 0;
+  std::size_t depth_sum = 0;
+  std::size_t depth_max = 0;
+
+  double mean() const {
+    return restored == 0 ? 0.0
+                         : static_cast<double>(depth_sum) /
+                               static_cast<double>(restored);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const std::size_t trials = args.get_uint("trials", 4);
+  const std::size_t pairs = args.get_uint("pairs", 4);
+  const bool srlg = args.get_bool("srlg", true);
+  const std::string tiebreak_arg = args.get_string("tiebreak", "both");
+  const std::string metric_arg = args.get_string("metric", "hops");
+  const bench::ObsCli obs_cli = bench::ObsCli::from_args(args);
+
+  std::vector<std::size_t> ks;
+  {
+    std::stringstream list(args.get_string("k", "2,4,8"));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (!item.empty()) ks.push_back(std::stoul(item));
+    }
+  }
+  const bool run_arbitrary = tiebreak_arg != "restorable";
+  const bool run_restorable = tiebreak_arg != "arbitrary";
+  const spf::Metric metric =
+      metric_arg == "weighted" ? spf::Metric::Weighted : spf::Metric::Hops;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram stack_arbitrary = reg.histogram("multifail.stack.arbitrary");
+  obs::Histogram stack_restorable = reg.histogram("multifail.stack.restorable");
+  obs::Counter bound_violations = reg.counter("multifail.bound_violations");
+  obs::Counter regressions = reg.counter("multifail.tiebreak_regressions");
+  obs::Counter unrestorable = reg.counter("multifail.unrestorable");
+
+  const auto cases = rbpc::testing::corpus();
+  std::cerr << "multi-failure matrix: " << cases.size() << " topologies x k={";
+  for (const std::size_t k : ks) std::cerr << k << ",";
+  std::cerr << "} x " << trials << " failure sets x " << pairs
+            << " pairs, metric=" << (metric == spf::Metric::Hops ? "hops"
+                                                                 : "weighted")
+            << ", srlg=" << (srlg ? "on" : "off") << "\n\n";
+
+  TablePrinter table({"k", "scenario", "restorations", "unrestorable",
+                      "mean stack (arb)", "mean stack (rest)", "max (arb)",
+                      "max (rest)", "bound viol"});
+
+  std::size_t total_regressions = 0;
+  std::size_t total_bound_violations = 0;
+  double grand_arb_mean_num = 0, grand_rest_mean_num = 0;
+  std::size_t grand_arb_n = 0, grand_rest_n = 0;
+
+  for (const std::size_t k : ks) {
+    for (const bool srlg_round : {false, true}) {
+      if (srlg_round && !srlg) continue;
+      ModeStats arb_stats, rest_stats;
+      std::size_t cell_unrestorable = 0;
+      std::size_t cell_bound_violations = 0;
+
+      for (const rbpc::testing::TopoCase& tc : cases) {
+        spf::DistanceOracle oracle(tc.g, graph::FailureMask::none(), metric);
+        core::AllPairsShortestBaseSet base(oracle);
+        Rng rng(seed * 1000003 + k * 131 + (srlg_round ? 17 : 0) +
+                std::hash<std::string>{}(tc.name));
+        chaos::SrlgCatalog catalog({});
+        if (srlg_round) {
+          catalog = chaos::SrlgCatalog::discover(
+              tc.g, /*regional_count=*/2, /*radius=*/2, rng, /*max_edges=*/
+              std::max<std::size_t>(2, k));
+          if (catalog.empty()) continue;
+        }
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          const graph::FailureMask mask =
+              srlg_round ? catalog.sample_failure((k + 1) / 2, rng)
+                         : random_failures(tc.g, k, rng);
+          const std::size_t effective_k = mask.failed_edges().size();
+          const std::size_t bound = lemma_bound(metric, effective_k);
+          for (std::size_t p = 0; p < pairs; ++p) {
+            const auto picks = rng.sample_distinct(tc.g.num_nodes(), 2);
+            const auto s = static_cast<graph::NodeId>(picks[0]);
+            const auto t = static_cast<graph::NodeId>(picks[1]);
+
+            std::size_t arb_depth = 0;
+            bool arb_restored = false;
+            if (run_arbitrary) {
+              const auto r = core::restore_multi(base, mask, s, t,
+                                                 RestoreTiebreak::Arbitrary);
+              arb_restored = r.restored();
+              if (r.restored()) {
+                arb_depth = r.stack_depth();
+                stack_arbitrary.record(arb_depth);
+                arb_stats.restored += 1;
+                arb_stats.depth_sum += arb_depth;
+                arb_stats.depth_max = std::max(arb_stats.depth_max, arb_depth);
+                if (arb_depth > bound) {
+                  bound_violations.inc();
+                  ++cell_bound_violations;
+                }
+              }
+            }
+            if (run_restorable) {
+              const auto r = core::restore_multi(base, mask, s, t,
+                                                 RestoreTiebreak::Restorable);
+              if (r.restored()) {
+                const std::size_t depth = r.stack_depth();
+                stack_restorable.record(depth);
+                rest_stats.restored += 1;
+                rest_stats.depth_sum += depth;
+                rest_stats.depth_max = std::max(rest_stats.depth_max, depth);
+                if (depth > bound) {
+                  bound_violations.inc();
+                  ++cell_bound_violations;
+                }
+                if (run_arbitrary && arb_restored && depth > arb_depth) {
+                  regressions.inc();
+                  ++total_regressions;
+                  std::cerr << "REGRESSION: " << tc.name << " k="
+                            << effective_k << " " << s << "->" << t
+                            << ": restorable " << depth << " > arbitrary "
+                            << arb_depth << "\n";
+                }
+              } else if (!arb_restored) {
+                unrestorable.inc();
+                ++cell_unrestorable;
+              }
+            } else if (!arb_restored) {
+              unrestorable.inc();
+              ++cell_unrestorable;
+            }
+          }
+        }
+      }
+
+      total_bound_violations += cell_bound_violations;
+      grand_arb_mean_num += static_cast<double>(arb_stats.depth_sum);
+      grand_arb_n += arb_stats.restored;
+      grand_rest_mean_num += static_cast<double>(rest_stats.depth_sum);
+      grand_rest_n += rest_stats.restored;
+
+      std::ostringstream arb_mean, rest_mean;
+      arb_mean.precision(3);
+      rest_mean.precision(3);
+      arb_mean << arb_stats.mean();
+      rest_mean << rest_stats.mean();
+      table.add_row({std::to_string(k), srlg_round ? "srlg" : "uniform",
+                     std::to_string(std::max(arb_stats.restored,
+                                             rest_stats.restored)),
+                     std::to_string(cell_unrestorable),
+                     run_arbitrary ? arb_mean.str() : "-",
+                     run_restorable ? rest_mean.str() : "-",
+                     run_arbitrary ? std::to_string(arb_stats.depth_max) : "-",
+                     run_restorable ? std::to_string(rest_stats.depth_max)
+                                    : "-",
+                     std::to_string(cell_bound_violations)});
+    }
+    table.add_separator();
+  }
+
+  std::cerr << table.to_text() << "\n";
+
+  int rc = obs_cli.finish();
+  if (total_bound_violations > 0) {
+    std::cerr << "multi-failure bench FAILED: " << total_bound_violations
+              << " lemma-bound violations\n";
+    rc = 1;
+  }
+  if (total_regressions > 0) {
+    std::cerr << "multi-failure bench FAILED: " << total_regressions
+              << " instances where restorable needed more pieces\n";
+    rc = 1;
+  }
+  if (run_arbitrary && run_restorable && grand_arb_n > 0 &&
+      grand_rest_n > 0) {
+    const double arb_mean = grand_arb_mean_num / grand_arb_n;
+    const double rest_mean = grand_rest_mean_num / grand_rest_n;
+    std::cerr << "overall mean stack depth: arbitrary " << arb_mean
+              << ", restorable " << rest_mean << "\n";
+    if (rest_mean > arb_mean) {
+      std::cerr << "multi-failure bench FAILED: restorable mean stack depth "
+                   "exceeds arbitrary\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::cerr << "multi-failure bench clean: bounds hold, restorable <= "
+                 "arbitrary\n";
+  }
+  return rc;
+}

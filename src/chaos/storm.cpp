@@ -78,6 +78,32 @@ Storm plan_storm(const graph::Graph& g, const StormConfig& config, Rng& rng) {
         handled = true;
       }
     }
+    if (!handled && down_count < config.max_concurrent &&
+        !config.srlg_groups.empty() && config.srlg_bias > 0.0 &&
+        rng.chance(config.srlg_bias)) {
+      // Correlated cut: fail a whole shared-risk group atomically — every
+      // member transitions down at the same timestamp (no flap expansion;
+      // a severed conduit does not bounce as a unit).
+      for (int attempt = 0; attempt < 8 && !handled; ++attempt) {
+        const auto& group =
+            config.srlg_groups[rng.below(config.srlg_groups.size())];
+        bool eligible = !group.empty();
+        for (const EdgeId e : group) {
+          if (e >= g.num_edges() || planned_down[e] || busy_until[e] >= t) {
+            eligible = false;
+            break;
+          }
+        }
+        if (!eligible) continue;
+        for (const EdgeId e : group) {
+          transitions.push_back({t, e, false, ++gen[e]});
+          planned_down[e] = 1;
+          ++down_count;
+          busy_until[e] = t;
+        }
+        handled = true;
+      }
+    }
     if (!handled && down_count < config.max_concurrent) {
       for (int attempt = 0; attempt < 8; ++attempt) {
         const EdgeId e = static_cast<EdgeId>(rng.below(g.num_edges()));

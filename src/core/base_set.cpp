@@ -115,4 +115,90 @@ bool ExpandedBaseSet::connected(graph::NodeId u, graph::NodeId v) {
   return u == v || oracle_.canonical_reachable(u, v);
 }
 
+// --- FaultTolerantBaseSet ----------------------------------------------------
+
+FaultTolerantBaseSet::FaultTolerantBaseSet(spf::DistanceOracle& oracle,
+                                           std::size_t max_failure_oracles)
+    : oracle_(oracle), max_failure_oracles_(max_failure_oracles) {
+  require(oracle.mask().empty(),
+          "FaultTolerantBaseSet: base sets are defined on the unfailed "
+          "network; the oracle must carry no failures");
+}
+
+const graph::Graph& FaultTolerantBaseSet::graph() const {
+  return oracle_.graph();
+}
+
+spf::Metric FaultTolerantBaseSet::metric() const { return oracle_.metric(); }
+
+spf::DistanceOracle& FaultTolerantBaseSet::failure_oracle(graph::EdgeId e) {
+  auto it = failure_oracles_.find(e);
+  if (it == failure_oracles_.end()) {
+    // Point queries dominate; a few trees per punctured graph suffice.
+    auto oracle = std::make_unique<spf::DistanceOracle>(
+        oracle_.graph(), graph::FailureMask::of_edges({e}), oracle_.metric(),
+        /*max_cached_trees=*/4, /*max_cached_bytes=*/0, oracle_.tiebreak());
+    it = failure_oracles_
+             .emplace(e, Slot{std::move(oracle), 0})
+             .first;
+    while (max_failure_oracles_ != 0 &&
+           failure_oracles_.size() > max_failure_oracles_) {
+      auto victim = failure_oracles_.begin();
+      for (auto cur = failure_oracles_.begin(); cur != failure_oracles_.end();
+           ++cur) {
+        if (cur->second.last_used < victim->second.last_used) victim = cur;
+      }
+      if (victim == it) break;  // never evict the entry we just made
+      failure_oracles_.erase(victim);
+    }
+  }
+  it->second.last_used = ++use_clock_;
+  return *it->second.oracle;
+}
+
+bool FaultTolerantBaseSet::contains(graph::PathView segment) {
+  if (segment.empty() || segment.hops() == 0) return true;
+  // Shortest in G: the all-pairs membership test.
+  if (oracle_.is_shortest(segment)) return true;
+  const graph::NodeId u = segment.source();
+  const graph::NodeId v = segment.target();
+  graph::Weight cost = 0;
+  for (const graph::EdgeId e : segment.edges()) {
+    cost += spf::metric_weight(oracle_.graph(), e, oracle_.metric());
+  }
+  // Witness candidates: canonical-path edges not on the segment (any edge
+  // whose removal makes the segment shortest must kill every strictly
+  // shorter u-v path, hence lie on the canonical shortest path).
+  const graph::Path canon = oracle_.canonical_path(u, v);
+  for (const graph::EdgeId e : canon.edges()) {
+    bool on_segment = false;
+    for (const graph::EdgeId se : segment.edges()) {
+      if (se == e) {
+        on_segment = true;
+        break;
+      }
+    }
+    if (on_segment) continue;
+    if (failure_oracle(e).dist(u, v) == cost) return true;
+  }
+  return false;
+}
+
+graph::Path FaultTolerantBaseSet::base_path(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return graph::Path::trivial(u);
+  // The canonical shortest path is shortest in G, hence a member.
+  return oracle_.canonical_path(u, v);
+}
+
+graph::PathRef FaultTolerantBaseSet::base_path_ref(graph::NodeId u,
+                                                   graph::NodeId v,
+                                                   graph::PathArena& arena) {
+  if (u == v) return arena.trivial(u);
+  return oracle_.canonical_path_ref(u, v, arena);
+}
+
+bool FaultTolerantBaseSet::connected(graph::NodeId u, graph::NodeId v) {
+  return u == v || oracle_.reachable(u, v);
+}
+
 }  // namespace rbpc::core

@@ -20,11 +20,19 @@
 //    need for Theorem 2's k loose edges at the cost of a ~(1 + 2m/n) times
 //    larger set.
 //
+//  * FaultTolerantBaseSet — the improved-lemma set of Bodwin–Wang
+//    (arXiv 2309.07964): every path that is shortest in G *or* in G - e for
+//    some single edge e. Provisioning 1-fault-tolerant base paths buys
+//    strictly more reusable subpaths after multi-failures, which is what
+//    tightens the k-failure concatenation bounds.
+//
 // All sets answer membership against the *unfailed* network: a base LSP is
 // usable for restoration iff its path survives, and subpaths of a post-
 // failure shortest path survive by construction.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 
 #include "graph/graph.hpp"
@@ -137,6 +145,54 @@ class ExpandedBaseSet final : public BasePathSet {
 
  private:
   spf::DistanceOracle& oracle_;
+};
+
+/// Bodwin–Wang improved-lemma set: paths shortest in G or in G - e for a
+/// single edge e (1-fault-tolerant shortest paths). A superset of
+/// AllPairsShortestBaseSet, and still subpath-closed: a subpath of a path
+/// shortest in G - e is itself shortest in G - e.
+///
+/// Membership needs distances in punctured graphs; the set keeps an
+/// LRU-bounded pool of per-failed-edge oracles. Witness candidates are
+/// restricted to edges of the canonical path between the segment's
+/// endpoints: if a segment is shortest in G - e but not in G, then e must
+/// lie on every strictly shorter path — in particular on the canonical
+/// shortest one — so the restriction loses nothing.
+class FaultTolerantBaseSet final : public BasePathSet {
+ public:
+  /// `max_failure_oracles` bounds the punctured-oracle pool (LRU, 0 =
+  /// unbounded); each pooled oracle itself caches at most a handful of
+  /// trees so the worst case stays proportional to graph size.
+  explicit FaultTolerantBaseSet(spf::DistanceOracle& oracle,
+                                std::size_t max_failure_oracles = 64);
+
+  const graph::Graph& graph() const override;
+  spf::Metric metric() const override;
+  using BasePathSet::contains;
+  bool contains(graph::PathView segment) override;
+  graph::Path base_path(graph::NodeId u, graph::NodeId v) override;
+  graph::PathRef base_path_ref(graph::NodeId u, graph::NodeId v,
+                               graph::PathArena& arena) override;
+  bool connected(graph::NodeId u, graph::NodeId v) override;
+  /// Subpath-closed (see above), so prefixes of members are members.
+  bool prefix_monotone() const override { return true; }
+  const char* name() const override { return "fault-tolerant-bw"; }
+
+  /// Punctured oracles currently pooled (eviction-test observability).
+  std::size_t pooled_oracles() const { return failure_oracles_.size(); }
+
+ private:
+  spf::DistanceOracle& failure_oracle(graph::EdgeId e);
+
+  struct Slot {
+    std::unique_ptr<spf::DistanceOracle> oracle;
+    std::uint64_t last_used = 0;
+  };
+
+  spf::DistanceOracle& oracle_;
+  std::size_t max_failure_oracles_;
+  std::uint64_t use_clock_ = 0;
+  std::map<graph::EdgeId, Slot> failure_oracles_;
 };
 
 }  // namespace rbpc::core

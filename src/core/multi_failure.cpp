@@ -1,0 +1,89 @@
+#include "core/multi_failure.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "spf/spf.hpp"
+#include "util/error.hpp"
+
+namespace rbpc::core {
+
+const char* to_string(RestoreTiebreak tiebreak) {
+  switch (tiebreak) {
+    case RestoreTiebreak::Arbitrary:
+      return "arbitrary";
+    case RestoreTiebreak::Restorable:
+      return "restorable";
+  }
+  return "unknown";
+}
+
+MultiFailureRestoration restore_multi(BasePathSet& base,
+                                      const graph::FailureMask& mask,
+                                      graph::NodeId s, graph::NodeId t,
+                                      RestoreTiebreak tiebreak,
+                                      spf::TiebreakPolicy policy) {
+  RBPC_TRACE_SPAN("restore.multi");
+  static obs::Counter restored =
+      obs::MetricsRegistry::global().counter("restore.multi.restored");
+  static obs::Counter unrestorable =
+      obs::MetricsRegistry::global().counter("restore.multi.unrestorable");
+  require(s < base.graph().num_nodes() && t < base.graph().num_nodes(),
+          "restore_multi: endpoint out of range");
+  MultiFailureRestoration out;
+  if (!mask.node_alive(s) || !mask.node_alive(t)) {
+    unrestorable.inc();
+    return out;
+  }
+  switch (tiebreak) {
+    case RestoreTiebreak::Arbitrary: {
+      out.route = spf::shortest_path(base.graph(), s, t, mask,
+                                     spf::SpfOptions{.metric = base.metric(),
+                                                     .padded = true,
+                                                     .tiebreak = policy});
+      if (!out.route.empty()) {
+        out.decomposition = greedy_decompose(base, out.route);
+      }
+      break;
+    }
+    case RestoreTiebreak::Restorable: {
+      // Two min-cost candidates, keep the shallower. The overlay explores
+      // concatenations of the set's *representative* base paths, which can
+      // miss covers whose pieces are surviving non-representative ties; the
+      // greedy cover of the canonical route recognizes any surviving member
+      // (membership probes, not representatives). Taking the minimum makes
+      // the instance-wise guarantee structural: Restorable never needs more
+      // pieces than the Arbitrary baseline, whose cover is one candidate.
+      Decomposition overlay = overlay_decompose(base, mask, s, t);
+      const graph::Path canonical = spf::shortest_path(
+          base.graph(), s, t, mask,
+          spf::SpfOptions{.metric = base.metric(),
+                          .padded = true,
+                          .tiebreak = policy});
+      if (!canonical.empty()) {
+        Decomposition greedy = greedy_decompose(base, canonical);
+        if (overlay.empty() || greedy.size() < overlay.size()) {
+          out.decomposition = std::move(greedy);
+          out.route = canonical;
+          break;
+        }
+      }
+      out.decomposition = std::move(overlay);
+      if (!out.decomposition.empty()) out.route = out.decomposition.joined();
+      break;
+    }
+  }
+  if (!out.restored()) {
+    unrestorable.inc();
+    return out;
+  }
+  out.cost = 0;
+  for (const graph::EdgeId e : out.route.edges()) {
+    out.cost += spf::metric_weight(base.graph(), e, base.metric());
+  }
+  restored.inc();
+  return out;
+}
+
+}  // namespace rbpc::core

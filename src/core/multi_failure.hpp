@@ -1,0 +1,66 @@
+// Multi-failure restoration (|F| = k >= 2) with a selectable restoration
+// tiebreak — the k-failure regime of the restoration lemma, sharpened per
+// Bodwin–Parter (arXiv 2102.10174) and Bodwin–Wang (arXiv 2309.07964).
+//
+// The paper's single-failure pipeline computes one post-failure shortest
+// route and covers it greedily. Under k failures many equal-cost routes
+// usually exist, and WHICH one gets restored decides how many base-path
+// pieces the concatenation needs (the label-stack depth). Two tiebreaks:
+//
+//  * Arbitrary — the baseline: restore the canonical padded-SPF route for
+//    the failed network and greedy-cover it. The route is picked blind to
+//    the base set, as the worst-case lemmas assume.
+//  * Restorable — restore a minimum-cost route whose concatenation needs
+//    the fewest pieces among two candidates: the overlay decomposition
+//    (min-cost, then min-piece search over the set's representative base
+//    paths plus single edges) and the greedy cover of the canonical route.
+//    Cost-equal to Arbitrary by construction, and never more pieces — the
+//    Arbitrary cover is literally one of the candidates minimized over.
+#pragma once
+
+#include <cstddef>
+
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "graph/failure.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+
+namespace rbpc::core {
+
+/// Which of the equal-cost restoration routes gets provisioned.
+enum class RestoreTiebreak {
+  Arbitrary,   ///< canonical padded-SPF route, greedily covered
+  Restorable,  ///< fewest-piece minimum-cost concatenation (overlay)
+};
+
+/// Short stable name for bench tables and JSON artifacts.
+const char* to_string(RestoreTiebreak tiebreak);
+
+/// Result of one multi-failure restoration.
+struct MultiFailureRestoration {
+  /// The restored route; empty when the failures disconnected the pair.
+  graph::Path route;
+  /// Cover of `route` by surviving base paths + loose edges.
+  Decomposition decomposition;
+  /// True cost of `route` (kUnreachable when not restored). Identical
+  /// across tiebreaks: both restore a minimum-cost surviving route.
+  graph::Weight cost = graph::kUnreachable;
+
+  bool restored() const { return !route.empty(); }
+  /// Label-stack depth of the restoration = concatenation piece count
+  /// (the paper's "PC length"); what the lemma bounds cap.
+  std::size_t stack_depth() const { return decomposition.size(); }
+};
+
+/// Restores s -> t under the failure set in `mask` (any k, including 0 and
+/// 1 — the k = 1 case reduces to the paper's single-failure pipeline).
+/// `base` must be defined over the unfailed network. `policy` selects the
+/// SPF salt scheme for the Arbitrary route (and should match the policy of
+/// the oracle behind `base` so canonical probes agree).
+MultiFailureRestoration restore_multi(
+    BasePathSet& base, const graph::FailureMask& mask, graph::NodeId s,
+    graph::NodeId t, RestoreTiebreak tiebreak = RestoreTiebreak::Restorable,
+    spf::TiebreakPolicy policy = spf::TiebreakPolicy::Arbitrary);
+
+}  // namespace rbpc::core

@@ -34,7 +34,8 @@ void repair_tree_into(const Graph& g, const ShortestPathTree& base,
   require(mask.node_alive(source), "repair_tree: source router is failed");
   require(options.stop_at == graph::kInvalidNode,
           "repair_tree: repair is defined for full trees only");
-  require(options.metric == base.metric() && options.padded == base.padded(),
+  require(options.metric == base.metric() && options.padded == base.padded() &&
+              (!options.padded || options.tiebreak == base.tiebreak()),
           "repair_tree: options disagree with the base tree's flavor");
   require(base.num_nodes() == g.num_nodes(),
           "repair_tree: base tree does not match the graph");
@@ -152,9 +153,9 @@ void repair_tree_into(const Graph& g, const ShortestPathTree& base,
   const auto relax = [&](NodeId to, EdgeId e, NodeId from, Weight from_key,
                          Weight from_dist, std::uint32_t from_hops) {
     ++relax_attempts;
-    const Weight step = options.padded
-                            ? padded_weight(g, e, options.metric)
-                            : metric_weight(g, e, options.metric);
+    const Weight step =
+        options.padded ? padded_weight(g, e, options.metric, options.tiebreak)
+                       : metric_weight(g, e, options.metric);
     const Weight alt = from_key + step;
     SpfWorkspace::Node& nt = ws.node(to);
     if (nt.settled) return;

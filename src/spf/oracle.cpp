@@ -22,12 +22,14 @@ obs::Gauge& oracle_trees_gauge() {
 
 DistanceOracle::DistanceOracle(const graph::Graph& g, graph::FailureMask mask,
                                Metric metric, std::size_t max_cached_trees,
-                               std::size_t max_cached_bytes)
+                               std::size_t max_cached_bytes,
+                               TiebreakPolicy tiebreak)
     : g_(g),
       mask_(std::move(mask)),
       metric_(metric),
       max_cached_(max_cached_trees),
-      max_cached_bytes_(max_cached_bytes) {}
+      max_cached_bytes_(max_cached_bytes),
+      tiebreak_(tiebreak) {}
 
 DistanceOracle::~DistanceOracle() {
   oracle_trees_gauge().add(-static_cast<std::int64_t>(cached_bytes_));
@@ -52,24 +54,33 @@ void DistanceOracle::evict_over_bounds(Cache& cache) {
     account(-static_cast<std::int64_t>(victim->second.tree->memory_bytes()));
     cache.slots.erase(victim);
   }
-  // Byte bound spans both flavors; evict the globally least recently used
-  // tree, always keeping at least the newest one.
+  // Byte bound spans every flavor (plain + each policy's padded cache);
+  // evict the globally least recently used tree, always keeping at least
+  // the newest one.
   while (max_cached_bytes_ != 0 && cached_bytes_ > max_cached_bytes_ &&
-         plain_.slots.size() + padded_.slots.size() > 1) {
-    Cache* from = &plain_;
+         cached_trees() > 1) {
+    Cache* from = nullptr;
     auto victim = plain_.slots.end();
-    if (!plain_.slots.empty()) victim = lru(plain_);
-    if (!padded_.slots.empty()) {
-      auto pv = lru(padded_);
-      if (victim == plain_.slots.end() ||
-          pv->second.last_used < victim->second.last_used) {
-        from = &padded_;
-        victim = pv;
+    const auto consider = [&](Cache& c) {
+      if (c.slots.empty()) return;
+      auto cv = lru(c);
+      if (from == nullptr || cv->second.last_used < victim->second.last_used) {
+        from = &c;
+        victim = cv;
       }
-    }
+    };
+    consider(plain_);
+    for (Cache& c : padded_) consider(c);
+    RBPC_ASSERT(from != nullptr);
     account(-static_cast<std::int64_t>(victim->second.tree->memory_bytes()));
     from->slots.erase(victim);
   }
+}
+
+std::size_t DistanceOracle::cached_trees() const {
+  std::size_t total = plain_.slots.size();
+  for (const Cache& c : padded_) total += c.slots.size();
+  return total;
 }
 
 const ShortestPathTree& DistanceOracle::insert(
@@ -83,11 +94,13 @@ const ShortestPathTree& DistanceOracle::insert(
 }
 
 const ShortestPathTree& DistanceOracle::get(Cache& cache, graph::NodeId u,
-                                            bool padded) {
+                                            bool padded,
+                                            TiebreakPolicy policy) {
   auto it = cache.slots.find(u);
   if (it == cache.slots.end()) {
     auto tree = std::make_unique<ShortestPathTree>(shortest_tree(
-        g_, u, mask_, SpfOptions{.metric = metric_, .padded = padded}));
+        g_, u, mask_,
+        SpfOptions{.metric = metric_, .padded = padded, .tiebreak = policy}));
     ++spf_runs_;
     return insert(cache, u, std::move(tree));
   }
@@ -96,19 +109,28 @@ const ShortestPathTree& DistanceOracle::get(Cache& cache, graph::NodeId u,
 }
 
 const ShortestPathTree& DistanceOracle::tree(graph::NodeId u) {
-  return get(plain_, u, /*padded=*/false);
+  return get(plain_, u, /*padded=*/false, tiebreak_);
 }
 
 const ShortestPathTree& DistanceOracle::padded_tree(graph::NodeId u) {
-  return get(padded_, u, /*padded=*/true);
+  return padded_tree(u, tiebreak_);
+}
+
+const ShortestPathTree& DistanceOracle::padded_tree(graph::NodeId u,
+                                                    TiebreakPolicy policy) {
+  return get(padded_cache(policy), u, /*padded=*/true, policy);
 }
 
 const ShortestPathTree* DistanceOracle::peek(graph::NodeId u) const {
+  // Any flavor answers a true-cost query: trees record true dist regardless
+  // of padding, and padding never changes which costs are optimal.
   if (auto it = plain_.slots.find(u); it != plain_.slots.end()) {
     return it->second.tree.get();
   }
-  if (auto it = padded_.slots.find(u); it != padded_.slots.end()) {
-    return it->second.tree.get();
+  for (const Cache& c : padded_) {
+    if (auto it = c.slots.find(u); it != c.slots.end()) {
+      return it->second.tree.get();
+    }
   }
   return nullptr;
 }
@@ -166,7 +188,12 @@ graph::Path DistanceOracle::some_shortest_path(graph::NodeId u,
 }
 
 graph::Path DistanceOracle::canonical_path(graph::NodeId u, graph::NodeId v) {
-  const ShortestPathTree& t = padded_tree(u);
+  return canonical_path(u, v, tiebreak_);
+}
+
+graph::Path DistanceOracle::canonical_path(graph::NodeId u, graph::NodeId v,
+                                           TiebreakPolicy policy) {
+  const ShortestPathTree& t = padded_tree(u, policy);
   if (!t.reachable(v)) return graph::Path{};
   return t.path_to(g_, v);
 }
@@ -197,12 +224,17 @@ bool DistanceOracle::is_shortest(graph::PathView segment) {
 }
 
 bool DistanceOracle::is_canonical(graph::PathView segment) {
+  return is_canonical(segment, tiebreak_);
+}
+
+bool DistanceOracle::is_canonical(graph::PathView segment,
+                                  TiebreakPolicy policy) {
   if (segment.empty() || segment.hops() == 0) return true;
   const graph::NodeId u = segment.source();
   const graph::NodeId v = segment.target();
   // Walk the padded tree's parent chain in place instead of materializing
   // the canonical path: same comparison, zero allocation.
-  const ShortestPathTree& t = padded_tree(u);
+  const ShortestPathTree& t = padded_tree(u, policy);
   if (!t.reachable(v)) return false;
   if (static_cast<std::size_t>(t.hops(v)) != segment.hops()) return false;
   graph::NodeId cur = v;
@@ -217,7 +249,7 @@ bool DistanceOracle::is_canonical(graph::PathView segment) {
 
 void DistanceOracle::prefetch(std::span<const graph::NodeId> sources,
                               bool padded, ThreadPool& pool) {
-  Cache& cache = padded ? padded_ : plain_;
+  Cache& cache = padded ? padded_cache(tiebreak_) : plain_;
   std::vector<graph::NodeId> missing;
   std::unordered_set<graph::NodeId> seen;
   for (const graph::NodeId u : sources) {
@@ -226,7 +258,8 @@ void DistanceOracle::prefetch(std::span<const graph::NodeId> sources,
   }
   if (missing.empty()) return;
   std::vector<std::unique_ptr<ShortestPathTree>> built(missing.size());
-  const SpfOptions options{.metric = metric_, .padded = padded};
+  const SpfOptions options{
+      .metric = metric_, .padded = padded, .tiebreak = tiebreak_};
   pool.parallel_for(missing.size(), [&](std::size_t i) {
     auto t = std::make_unique<ShortestPathTree>();
     shortest_tree_into(g_, missing[i], mask_, options, thread_workspace(), *t);

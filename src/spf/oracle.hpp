@@ -16,6 +16,7 @@
 // one distance.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -42,7 +43,8 @@ class DistanceOracle {
   /// a bound and rely on source locality.
   DistanceOracle(const graph::Graph& g, graph::FailureMask mask, Metric metric,
                  std::size_t max_cached_trees = 0,
-                 std::size_t max_cached_bytes = 0);
+                 std::size_t max_cached_bytes = 0,
+                 TiebreakPolicy tiebreak = TiebreakPolicy::Arbitrary);
   ~DistanceOracle();
 
   DistanceOracle(const DistanceOracle&) = delete;
@@ -51,11 +53,18 @@ class DistanceOracle {
   const graph::Graph& graph() const { return g_; }
   const graph::FailureMask& mask() const { return mask_; }
   Metric metric() const { return metric_; }
+  /// The oracle's default tiebreak policy for canonical (padded) queries.
+  TiebreakPolicy tiebreak() const { return tiebreak_; }
 
   /// Shortest-path tree rooted at u (plain metric). Cached.
   const ShortestPathTree& tree(graph::NodeId u);
-  /// Shortest-path tree rooted at u with canonical padding. Cached.
+  /// Shortest-path tree rooted at u with canonical padding under the
+  /// oracle's default tiebreak policy. Cached.
   const ShortestPathTree& padded_tree(graph::NodeId u);
+  /// Padded tree under an explicit tiebreak policy. Each policy has its own
+  /// cache (the policy is part of the slot identity), so querying several
+  /// policies through one oracle never aliases their canonical trees.
+  const ShortestPathTree& padded_tree(graph::NodeId u, TiebreakPolicy policy);
 
   /// True cost of the shortest u->v route; kUnreachable if disconnected.
   graph::Weight dist(graph::NodeId u, graph::NodeId v);
@@ -71,8 +80,11 @@ class DistanceOracle {
   graph::Path some_shortest_path(graph::NodeId u, graph::NodeId v);
 
   /// The canonical (padded / Theorem-3) shortest u->v path; empty if
-  /// unreachable.
+  /// unreachable. Uses the oracle's default tiebreak policy; the explicit
+  /// overload selects which tied shortest path is canonical.
   graph::Path canonical_path(graph::NodeId u, graph::NodeId v);
+  graph::Path canonical_path(graph::NodeId u, graph::NodeId v,
+                             TiebreakPolicy policy);
 
   /// Arena counterparts: extract the path straight into `arena` (no owning
   /// Path is built); the empty PathRef when unreachable.
@@ -93,8 +105,10 @@ class DistanceOracle {
   /// True when `segment` equals the canonical base path between its
   /// endpoints (membership in the Theorem-3 single-path-per-pair set).
   /// The view overload compares against the padded tree's parent chain in
-  /// place — no path is materialized.
+  /// place — no path is materialized. Default-policy and explicit-policy
+  /// forms, as with canonical_path.
   bool is_canonical(graph::PathView segment);
+  bool is_canonical(graph::PathView segment, TiebreakPolicy policy);
   bool is_canonical(const graph::Path& segment) {
     return is_canonical(segment.view());
   }
@@ -124,12 +138,10 @@ class DistanceOracle {
   /// work done.
   std::size_t spf_runs() const { return spf_runs_; }
 
-  /// Bytes held by cached trees (both flavors) — what the
+  /// Bytes held by cached trees (all flavors) — what the
   /// rbpc.mem.oracle_trees gauge reports for this oracle.
   std::size_t cached_bytes() const { return cached_bytes_; }
-  std::size_t cached_trees() const {
-    return plain_.slots.size() + padded_.slots.size();
-  }
+  std::size_t cached_trees() const;
 
  private:
   /// Tree cache with LRU eviction over count and byte bounds.
@@ -146,9 +158,12 @@ class DistanceOracle {
   Metric metric_;
   std::size_t max_cached_;
   std::size_t max_cached_bytes_;
+  TiebreakPolicy tiebreak_;
   std::uint64_t use_clock_ = 0;
   Cache plain_;
-  Cache padded_;
+  /// One padded cache per tiebreak policy: the policy is baked into which
+  /// cache a slot lives in, so mixed-policy lookups cannot alias.
+  std::array<Cache, kNumTiebreakPolicies> padded_;
   std::size_t spf_runs_ = 0;
   std::size_t cached_bytes_ = 0;
   bool bounded_point_ = false;
@@ -156,7 +171,11 @@ class DistanceOracle {
   std::unique_ptr<SpfWorkspace> point_fwd_;
   std::unique_ptr<SpfWorkspace> point_bwd_;
 
-  const ShortestPathTree& get(Cache& cache, graph::NodeId u, bool padded);
+  const ShortestPathTree& get(Cache& cache, graph::NodeId u, bool padded,
+                              TiebreakPolicy policy);
+  Cache& padded_cache(TiebreakPolicy policy) {
+    return padded_[static_cast<std::size_t>(policy)];
+  }
   const ShortestPathTree* peek(graph::NodeId u) const;
   /// Takes ownership of a freshly built tree for `u`, updating byte
   /// accounting and evicting LRU slots while over either bound.

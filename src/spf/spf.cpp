@@ -83,7 +83,8 @@ void bfs_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
 void dijkstra_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
                         const SpfOptions& options, SpfWorkspace& ws,
                         ShortestPathTree& tree) {
-  tree.reset(source, g.num_nodes(), options.metric, options.padded);
+  tree.reset(source, g.num_nodes(), options.metric, options.padded,
+             options.padded ? options.tiebreak : TiebreakPolicy::Arbitrary);
 
   ws.begin(g.num_nodes());
   FourAryHeap& heap = ws.heap();
@@ -110,9 +111,10 @@ void dijkstra_tree_into(const Graph& g, NodeId source, const FailureMask& mask,
       ++relax_attempts;
       SpfWorkspace::Node& nt = ws.node(a.to);
       if (nt.settled) continue;
-      const Weight step = options.padded
-                              ? padded_weight(g, a.edge, options.metric)
-                              : metric_weight(g, a.edge, options.metric);
+      const Weight step =
+          options.padded
+              ? padded_weight(g, a.edge, options.metric, options.tiebreak)
+              : metric_weight(g, a.edge, options.metric);
       const Weight alt = nv.key + step;
       if (alt < nt.key) {
         nt.key = alt;

@@ -25,6 +25,10 @@ struct SpfOptions {
   bool padded = false;
   /// Early exit: stop as soon as this node is settled (single-pair query).
   graph::NodeId stop_at = graph::kInvalidNode;
+  /// Which of the equal-cost ties padding resolves (see spf/metric.hpp).
+  /// Only meaningful when padded; part of the tree flavor, so trees, caches,
+  /// and incremental repair never mix policies.
+  TiebreakPolicy tiebreak = TiebreakPolicy::Arbitrary;
 };
 
 /// Computes the shortest-path tree from `source` over the surviving part of

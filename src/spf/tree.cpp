@@ -7,10 +7,12 @@
 namespace rbpc::spf {
 
 ShortestPathTree::ShortestPathTree(graph::NodeId source, std::size_t num_nodes,
-                                   Metric metric, bool padded)
+                                   Metric metric, bool padded,
+                                   TiebreakPolicy tiebreak)
     : source_(source),
       metric_(metric),
       padded_(padded),
+      tiebreak_(tiebreak),
       key_(num_nodes, graph::kUnreachable),
       dist_(num_nodes, graph::kUnreachable),
       hops_(num_nodes, 0),
@@ -20,11 +22,13 @@ ShortestPathTree::ShortestPathTree(graph::NodeId source, std::size_t num_nodes,
 }
 
 void ShortestPathTree::reset(graph::NodeId source, std::size_t num_nodes,
-                             Metric metric, bool padded) {
+                             Metric metric, bool padded,
+                             TiebreakPolicy tiebreak) {
   require(source < num_nodes, "ShortestPathTree::reset: source out of range");
   source_ = source;
   metric_ = metric;
   padded_ = padded;
+  tiebreak_ = tiebreak;
   key_.assign(num_nodes, graph::kUnreachable);
   dist_.assign(num_nodes, graph::kUnreachable);
   hops_.assign(num_nodes, 0);

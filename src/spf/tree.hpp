@@ -19,7 +19,8 @@ class ShortestPathTree {
   ShortestPathTree() = default;
 
   ShortestPathTree(graph::NodeId source, std::size_t num_nodes, Metric metric,
-                   bool padded);
+                   bool padded,
+                   TiebreakPolicy tiebreak = TiebreakPolicy::Arbitrary);
 
   /// Re-initializes this tree for a new run, reusing the existing array
   /// capacity: once the tree has been sized for `num_nodes` no further
@@ -27,12 +28,14 @@ class ShortestPathTree {
   /// counterpart of constructing a fresh tree, used by shortest_tree_into
   /// and the bulk builder.
   void reset(graph::NodeId source, std::size_t num_nodes, Metric metric,
-             bool padded);
+             bool padded, TiebreakPolicy tiebreak = TiebreakPolicy::Arbitrary);
 
   graph::NodeId source() const { return source_; }
   Metric metric() const { return metric_; }
   /// True when the run used deterministic padding (canonical tie-breaking).
   bool padded() const { return padded_; }
+  /// The tiebreak policy the run padded with (Arbitrary for unpadded runs).
+  TiebreakPolicy tiebreak() const { return tiebreak_; }
 
   bool reachable(graph::NodeId v) const;
   /// True cost (hops or weight per `metric`) of the tree path to v;
@@ -78,6 +81,7 @@ class ShortestPathTree {
   graph::NodeId source_ = graph::kInvalidNode;
   Metric metric_ = Metric::Hops;
   bool padded_ = false;
+  TiebreakPolicy tiebreak_ = TiebreakPolicy::Arbitrary;
   std::vector<graph::Weight> key_;
   std::vector<graph::Weight> dist_;
   std::vector<std::uint32_t> hops_;

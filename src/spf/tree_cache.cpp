@@ -38,7 +38,9 @@ TreeCache::TreeCache(const graph::Graph& g, graph::FailureMask mask,
     require(&base_->graph() == &g_,
             "TreeCache: base cache is for a different graph");
     require(base_->options().metric == options_.metric &&
-                base_->options().padded == options_.padded,
+                base_->options().padded == options_.padded &&
+                (!options_.padded ||
+                 base_->options().tiebreak == options_.tiebreak),
             "TreeCache: base cache has a different SPF flavor");
   }
 }

@@ -17,12 +17,14 @@
 // shared_ptr and finish safely; the cache dies with its last user.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -51,12 +53,21 @@ class SnapshotTreePool {
   const graph::Graph& graph() const { return g_; }
   const SpfOptions& options() const { return options_; }
 
-  /// The shared unfailed-network base cache every view repairs from.
+  /// The shared unfailed-network base cache every view repairs from (the
+  /// pool's default tiebreak policy; other policies get their own base
+  /// lazily — trees of different policies must never mix).
   TreeCache& base() { return base_; }
 
-  /// The TreeCache for `mask`, created (repair-mode over base()) on first
-  /// use. Thread-safe; the returned pointer stays valid after eviction.
+  /// The TreeCache for `mask` under the pool's default tiebreak policy,
+  /// created (repair-mode over base()) on first use. Thread-safe; the
+  /// returned pointer stays valid after eviction.
   std::shared_ptr<TreeCache> cache_for(const graph::FailureMask& mask);
+
+  /// Policy-explicit variant: the cache for (`mask`, `tiebreak`). The
+  /// policy is part of the view key and selects a per-policy base cache,
+  /// so mixed-policy lookups can never alias each other's trees.
+  std::shared_ptr<TreeCache> cache_for(const graph::FailureMask& mask,
+                                       TiebreakPolicy tiebreak);
 
   // --- lifetime counters ----------------------------------------------------
   std::size_t views_created() const;
@@ -66,19 +77,27 @@ class SnapshotTreePool {
   std::size_t size() const;
 
  private:
-  /// Exact identity of a failure state (no hashing — a collision would
-  /// silently hand a worker trees for the wrong mask).
-  using Key = std::pair<std::vector<graph::EdgeId>, std::vector<graph::NodeId>>;
+  /// Exact identity of a (tiebreak policy, failure state) view (no hashing
+  /// — a collision would silently hand a worker trees for the wrong mask
+  /// or the wrong canonical-path tiebreaking).
+  using Key = std::tuple<std::uint8_t, std::vector<graph::EdgeId>,
+                         std::vector<graph::NodeId>>;
 
   struct Entry {
     std::shared_ptr<TreeCache> cache;
     std::list<const Key*>::iterator lru_pos;
   };
 
+  /// The unfailed-network base cache for `tiebreak`, created lazily for
+  /// non-default policies. Caller holds mu_.
+  TreeCache& base_for(TiebreakPolicy tiebreak);
+
   const graph::Graph& g_;
   SpfOptions options_;
   TreePoolOptions pool_options_;
   TreeCache base_;
+  /// Lazily created bases for tiebreak policies other than the default.
+  std::array<std::unique_ptr<TreeCache>, kNumTiebreakPolicies> policy_bases_;
 
   mutable std::mutex mu_;
   std::map<Key, Entry> views_;

@@ -1,13 +1,15 @@
-// The shared 54-topology test corpus: the paper's gadgets, two structural
-// stress shapes (a high-degree hub, a long-diameter ladder) plus three
-// random families (connected meshes, Waxman, Barabási–Albert) at fixed
-// seeds.
+// The shared 60-topology test corpus: the paper's gadgets, two structural
+// stress shapes (a high-degree hub, a long-diameter ladder), six
+// SRLG-prone shapes (parallel-span ladders, dual-plane cores,
+// rings-of-rings — topologies where correlated link groups are the natural
+// failure unit), plus three random families (connected meshes, Waxman,
+// Barabási–Albert) at fixed seeds.
 //
-// One definition, three consumers — the batch differential harness
+// One definition, many consumers — the batch differential harness
 // (test_batch), the incremental-repair differential harness
-// (test_incremental) and the chaos drills (test_chaos) must all sweep the
-// *same* topologies, so a corpus change automatically re-tightens every
-// suite.
+// (test_incremental), the chaos drills (test_chaos) and the multi-failure
+// suite (test_multi_failure) must all sweep the *same* topologies, so a
+// corpus change automatically re-tightens every suite.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +44,70 @@ inline graph::Graph make_wheel16() {
   return b.build();
 }
 
+/// Parallel-span ladder: a 2 x `length` ladder whose rungs are doubled —
+/// each rung is two parallel links in one conduit (the classic same-trench
+/// shared-risk group). Cutting a conduit severs both spans at once, yet the
+/// rails keep the graph connected, so every SRLG cut is restorable.
+inline graph::Graph make_parallel_span_ladder(std::size_t length) {
+  graph::GraphBuilder b(2 * length);
+  for (std::size_t i = 0; i + 1 < length; ++i) {
+    b.add_edge(static_cast<graph::NodeId>(i),
+               static_cast<graph::NodeId>(i + 1));
+    b.add_edge(static_cast<graph::NodeId>(length + i),
+               static_cast<graph::NodeId>(length + i + 1));
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    const graph::NodeId top = static_cast<graph::NodeId>(i);
+    const graph::NodeId bottom = static_cast<graph::NodeId>(length + i);
+    b.add_edge(top, bottom);
+    b.add_edge(top, bottom);  // the parallel span sharing the conduit
+  }
+  return b.build();
+}
+
+/// Dual-plane core: each of `sites` sites hosts one router per plane
+/// (a_i = i, b_i = sites + i); each plane is a ring, and the planes meet by
+/// a cross link per site. A whole-plane outage (a regional SRLG) leaves the
+/// other plane carrying every site — the redundancy pattern of real ISP
+/// cores, and a tie-heavy unit-weight shape (both planes offer equal-cost
+/// routes everywhere).
+inline graph::Graph make_dual_plane_core(std::size_t sites) {
+  graph::GraphBuilder b(2 * sites);
+  for (std::size_t i = 0; i < sites; ++i) {
+    const graph::NodeId a = static_cast<graph::NodeId>(i);
+    const graph::NodeId a_next = static_cast<graph::NodeId>((i + 1) % sites);
+    const graph::NodeId bb = static_cast<graph::NodeId>(sites + i);
+    const graph::NodeId b_next =
+        static_cast<graph::NodeId>(sites + (i + 1) % sites);
+    b.add_edge(a, a_next);
+    b.add_edge(bb, b_next);
+    b.add_edge(a, bb);
+  }
+  return b.build();
+}
+
+/// Ring of rings: `rings` local rings of `ring_size` routers each, chained
+/// into a super-ring by dual-homed gateway pairs (nodes 0 and 1 of each
+/// ring link to nodes 0 and 1 of the next). The two inter-ring links of a
+/// hop follow one right-of-way — a natural SRLG whose cut forces traffic
+/// the long way around the super-ring.
+inline graph::Graph make_ring_of_rings(std::size_t rings,
+                                       std::size_t ring_size) {
+  graph::GraphBuilder b(rings * ring_size);
+  const auto at = [ring_size](std::size_t r, std::size_t i) {
+    return static_cast<graph::NodeId>(r * ring_size + i);
+  };
+  for (std::size_t r = 0; r < rings; ++r) {
+    for (std::size_t i = 0; i < ring_size; ++i) {
+      b.add_edge(at(r, i), at(r, (i + 1) % ring_size));
+    }
+    const std::size_t next = (r + 1) % rings;
+    b.add_edge(at(r, 0), at(next, 0));
+    b.add_edge(at(r, 1), at(next, 1));
+  }
+  return b.build();
+}
+
 inline std::vector<TopoCase> corpus() {
   std::vector<TopoCase> out;
   out.push_back({"comb4", topo::make_comb(4).g});
@@ -55,6 +121,13 @@ inline std::vector<TopoCase> corpus() {
   out.push_back({"parallel_chain3", topo::make_parallel_chain(3).g});
   out.push_back({"ring9", topo::make_ring(9)});
   out.push_back({"grid4x5", topo::make_grid(4, 5)});
+  // SRLG-prone shapes: correlated link groups are the natural failure unit.
+  out.push_back({"span_ladder6", make_parallel_span_ladder(6)});
+  out.push_back({"span_ladder10", make_parallel_span_ladder(10)});
+  out.push_back({"dual_plane6", make_dual_plane_core(6)});
+  out.push_back({"dual_plane8", make_dual_plane_core(8)});
+  out.push_back({"ring_of_rings3x5", make_ring_of_rings(3, 5)});
+  out.push_back({"ring_of_rings4x4", make_ring_of_rings(4, 4)});
   for (std::uint64_t seed = 0; seed < 15; ++seed) {
     Rng rng(1000 + seed);
     const std::size_t n = 12 + 2 * static_cast<std::size_t>(seed);

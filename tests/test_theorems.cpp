@@ -28,6 +28,7 @@
 #include "graph/analysis.hpp"
 #include "spf/oracle.hpp"
 #include "spf/spf.hpp"
+#include "theorem_props.hpp"
 #include "topo/gadgets.hpp"
 #include "topo/generators.hpp"
 #include "util/rng.hpp"
@@ -41,14 +42,12 @@ using graph::Graph;
 using graph::NodeId;
 using graph::Path;
 
-/// Fails k distinct random edges.
-FailureMask random_edge_failures(const Graph& g, std::size_t k, Rng& rng) {
-  FailureMask mask;
-  for (auto e : rng.sample_distinct(g.num_edges(), k)) {
-    mask.fail_edge(static_cast<EdgeId>(e));
-  }
-  return mask;
-}
+// Shared property harness (also used by the k >= 2 multi-failure suite).
+using rbpc::testing::check_restoration;
+using rbpc::testing::lemma_bound;
+using rbpc::testing::random_edge_failures;
+using rbpc::testing::theorem1_bound;
+using rbpc::testing::theorem2_bound;
 
 // --- Theorem 1 sweep --------------------------------------------------------------
 
@@ -76,11 +75,11 @@ TEST_P(Theorem1Sweep, NewShortestPathNeedsAtMostKPlus1Pieces) {
     if (backup.empty()) continue;  // disconnected by the failures
 
     const Decomposition d = greedy_decompose(base, backup);
-    EXPECT_EQ(d.joined(), backup);
+    EXPECT_TRUE(check_restoration(base, mask, backup, d)) << "k=" << k;
     // Unweighted simple graph: every edge is itself a shortest path, so
     // every piece is a base path, and Theorem 1 bounds the count.
     EXPECT_EQ(d.edge_count(), 0u);
-    EXPECT_LE(d.size(), static_cast<std::size_t>(k) + 1)
+    EXPECT_LE(d.size(), theorem1_bound(static_cast<std::size_t>(k)))
         << "k=" << k << " backup=" << backup.to_string();
   }
 }
@@ -121,10 +120,10 @@ TEST_P(Theorem2Sweep, WeightedNeedsAtMost2KPlus1Components) {
     if (backup.empty()) continue;
 
     const Decomposition d = greedy_decompose(base, backup);
-    EXPECT_EQ(d.joined(), backup);
+    EXPECT_TRUE(check_restoration(base, mask, backup, d)) << "k=" << k;
     // Theorem 2: some decomposition uses <= k+1 paths and <= k edges;
     // greedy minimizes the total count, so it is within 2k+1.
-    EXPECT_LE(d.size(), 2 * static_cast<std::size_t>(k) + 1)
+    EXPECT_LE(d.size(), theorem2_bound(static_cast<std::size_t>(k)))
         << "k=" << k << " backup=" << backup.to_string();
   }
 }
@@ -165,8 +164,8 @@ TEST_P(Theorem3Sweep, CanonicalBaseSetAchievesTheorem2Bound) {
     if (backup.empty()) continue;
 
     const Decomposition d = greedy_decompose(base, backup);
-    EXPECT_EQ(d.joined(), backup);
-    EXPECT_LE(d.size(), 2 * static_cast<std::size_t>(k) + 1)
+    EXPECT_TRUE(check_restoration(base, mask, backup, d)) << "k=" << k;
+    EXPECT_LE(d.size(), theorem2_bound(static_cast<std::size_t>(k)))
         << "k=" << k << " backup=" << backup.to_string();
   }
 }
@@ -192,11 +191,12 @@ TEST(Corollary4, ExpandedSetCoversOneFailureWithTwoBasePieces) {
     const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
     const NodeId t = static_cast<NodeId>(rng.below(g.num_nodes()));
     if (s == t) continue;
-    const Path backup = spf::shortest_path(g, s, t, FailureMask::of_edges({fail}),
-                                           spf::SpfOptions{.padded = true});
+    const FailureMask mask = FailureMask::of_edges({fail});
+    const Path backup =
+        spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
     if (backup.empty()) continue;
     const Decomposition d = greedy_decompose(expanded, backup);
-    EXPECT_EQ(d.joined(), backup);
+    EXPECT_TRUE(check_restoration(expanded, mask, backup, d));
     // Corollary 4 with k = 1: two expanded-base paths suffice (no loose
     // edges needed).
     EXPECT_LE(d.size(), 2u) << backup.to_string();
@@ -356,9 +356,10 @@ TEST(Soundness, DecompositionPiecesSurviveTheFailures) {
     const Path backup =
         spf::shortest_path(g, s, t, mask, spf::SpfOptions{.padded = true});
     if (backup.empty()) continue;
-    for (const Path& piece : greedy_decompose(base, backup).pieces) {
-      EXPECT_TRUE(piece.alive(g, mask)) << piece.to_string();
-    }
+    // check_restoration includes piece survival (plus the full
+    // single-failure lemma property set).
+    EXPECT_TRUE(
+        check_restoration(base, mask, backup, greedy_decompose(base, backup)));
   }
 }
 

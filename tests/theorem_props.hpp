@@ -1,0 +1,224 @@
+// Reusable restoration-lemma property checks, shared by the k = 1 suite
+// (test_theorems.cpp) and the k >= 2 multi-failure suite
+// (test_multi_failure.cpp).
+//
+// One restoration is "lemma-clean" when:
+//  * the decomposition re-concatenates exactly to the restored route;
+//  * the route survives the failure set and is loop-free;
+//  * the route is cost-optimal among base-subpath concatenations — since
+//    single edges are admissible pieces, that optimum equals the
+//    post-failure shortest-path distance;
+//  * every piece survives the failures, base-flagged pieces are members of
+//    the base set, and loose pieces are single edges.
+//
+// The header also hosts the shared failure-set sampler, a textbook
+// reference Dijkstra for the differential SPF fuzz, and tree-equality
+// helpers for the bit-identity (thread count / cache / repair) checks.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "core/base_set.hpp"
+#include "core/decompose.hpp"
+#include "graph/failure.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "spf/metric.hpp"
+#include "spf/spf.hpp"
+#include "spf/tree.hpp"
+#include "util/rng.hpp"
+
+namespace rbpc::testing {
+
+/// Fails k distinct random edges (k clipped to the edge count).
+inline graph::FailureMask random_edge_failures(const graph::Graph& g,
+                                               std::size_t k, Rng& rng) {
+  graph::FailureMask mask;
+  const std::uint64_t take =
+      std::min<std::uint64_t>(k, g.num_edges());
+  for (const std::uint64_t e : rng.sample_distinct(g.num_edges(), take)) {
+    mask.fail_edge(static_cast<graph::EdgeId>(e));
+  }
+  return mask;
+}
+
+// --- lemma bounds -----------------------------------------------------------
+
+/// Theorem 1 (unweighted): at most k + 1 base-path pieces.
+inline std::size_t theorem1_bound(std::size_t k) { return k + 1; }
+
+/// Theorem 2 / Theorem 3 (weighted): at most k + 1 base paths interleaved
+/// with k loose edges — 2k + 1 components total.
+inline std::size_t theorem2_bound(std::size_t k) { return 2 * k + 1; }
+
+/// The applicable worst-case component bound for a subpath-closed base set
+/// under `metric`: Theorem 1 for hops (every edge is a base path, so no
+/// loose edges are ever needed), Theorem 2 for weights.
+inline std::size_t lemma_bound(spf::Metric metric, std::size_t k) {
+  return metric == spf::Metric::Hops ? theorem1_bound(k) : theorem2_bound(k);
+}
+
+// --- the restoration property ------------------------------------------------
+
+/// Checks that (route, decomposition) is a lemma-clean restoration of
+/// s -> t under `mask` (see the header comment). Returns an explanatory
+/// failure so callers can add their own context with `<<`.
+inline ::testing::AssertionResult check_restoration(
+    core::BasePathSet& base, const graph::FailureMask& mask,
+    const graph::Path& route, const core::Decomposition& d) {
+  const graph::Graph& g = base.graph();
+  if (route.empty()) {
+    return ::testing::AssertionFailure() << "route is empty";
+  }
+  if (d.joined() != route) {
+    return ::testing::AssertionFailure()
+           << "decomposition does not re-concatenate to the route: "
+           << d.joined().to_string() << " vs " << route.to_string();
+  }
+  if (!route.alive(g, mask)) {
+    return ::testing::AssertionFailure()
+           << "route uses failed elements: " << route.to_string();
+  }
+  if (!route.simple()) {
+    return ::testing::AssertionFailure()
+           << "route is not loop-free: " << route.to_string();
+  }
+  const graph::Weight optimal = spf::distance(
+      g, route.source(), route.target(), mask,
+      spf::SpfOptions{.metric = base.metric()});
+  graph::Weight cost = 0;
+  for (const graph::EdgeId e : route.edges()) {
+    cost += spf::metric_weight(g, e, base.metric());
+  }
+  if (cost != optimal) {
+    return ::testing::AssertionFailure()
+           << "route cost " << cost
+           << " is not optimal among concatenations (shortest = " << optimal
+           << "): " << route.to_string();
+  }
+  for (std::size_t i = 0; i < d.pieces.size(); ++i) {
+    const graph::Path& piece = d.pieces[i];
+    if (!piece.alive(g, mask)) {
+      return ::testing::AssertionFailure()
+             << "piece " << i << " uses failed elements: "
+             << piece.to_string();
+    }
+    if (d.is_base[i]) {
+      if (!base.contains(piece)) {
+        return ::testing::AssertionFailure()
+               << "piece " << i << " is flagged base but not a member of "
+               << base.name() << ": " << piece.to_string();
+      }
+    } else if (piece.hops() != 1) {
+      return ::testing::AssertionFailure()
+             << "loose piece " << i << " is not a single edge: "
+             << piece.to_string();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- tree equality (bit-identity checks) -------------------------------------
+
+/// Structural equality of two SPF trees: same flavor, same source, and the
+/// same (key, dist, hops, parent, parent_edge) at every node. This is what
+/// "bit-identical across thread counts and cache repair paths" asserts.
+inline ::testing::AssertionResult trees_identical(
+    const spf::ShortestPathTree& a, const spf::ShortestPathTree& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return ::testing::AssertionFailure()
+           << "node counts differ: " << a.num_nodes() << " vs "
+           << b.num_nodes();
+  }
+  if (a.source() != b.source() || a.metric() != b.metric() ||
+      a.padded() != b.padded() || a.tiebreak() != b.tiebreak()) {
+    return ::testing::AssertionFailure() << "tree flavors differ";
+  }
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.dist(v) != b.dist(v) || a.key(v) != b.key(v) ||
+        a.parent(v) != b.parent(v) || a.parent_edge(v) != b.parent_edge(v)) {
+      return ::testing::AssertionFailure()
+             << "trees differ at node " << v << ": dist " << a.dist(v)
+             << "/" << b.dist(v) << " key " << a.key(v) << "/" << b.key(v)
+             << " parent " << a.parent(v) << "/" << b.parent(v)
+             << " parent_edge " << a.parent_edge(v) << "/"
+             << b.parent_edge(v);
+    }
+    if (a.dist(v) != graph::kUnreachable && a.hops(v) != b.hops(v)) {
+      return ::testing::AssertionFailure()
+             << "trees differ at node " << v << ": hops " << a.hops(v)
+             << " vs " << b.hops(v);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- reference Dijkstra (differential fuzz oracle) ---------------------------
+
+/// Distances from a textbook binary-heap Dijkstra, independent of the SPF
+/// kernels (no shared workspace, heap, or settle-order machinery). Returns
+/// per-node (key, dist): the padded key and true cost when `options.padded`,
+/// key == dist otherwise. The fuzz suite diffs these against
+/// shortest_tree / repair_tree output.
+struct ReferenceLabels {
+  std::vector<graph::Weight> key;
+  std::vector<graph::Weight> dist;
+};
+
+inline ReferenceLabels reference_dijkstra(const graph::Graph& g,
+                                          graph::NodeId source,
+                                          const graph::FailureMask& mask,
+                                          const spf::SpfOptions& options) {
+  ReferenceLabels out;
+  out.key.assign(g.num_nodes(), graph::kUnreachable);
+  out.dist.assign(g.num_nodes(), graph::kUnreachable);
+  if (!mask.node_alive(source)) return out;
+  using Item = std::pair<graph::Weight, graph::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  std::vector<char> settled(g.num_nodes(), 0);
+  out.key[source] = 0;
+  out.dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [k, v] = heap.top();
+    heap.pop();
+    if (settled[v] || k != out.key[v]) continue;
+    settled[v] = 1;
+    for (const graph::Arc& a : g.arcs(v)) {
+      if (!mask.edge_alive(g, a.edge) || settled[a.to]) continue;
+      const graph::Weight step =
+          options.padded
+              ? spf::padded_weight(g, a.edge, options.metric, options.tiebreak)
+              : spf::metric_weight(g, a.edge, options.metric);
+      if (out.key[v] + step < out.key[a.to]) {
+        out.key[a.to] = out.key[v] + step;
+        out.dist[a.to] =
+            out.dist[v] + spf::metric_weight(g, a.edge, options.metric);
+        heap.push({out.key[a.to], a.to});
+      }
+    }
+  }
+  return out;
+}
+
+/// Diffs an SPF tree against the reference labels; on mismatch names the
+/// first divergent node (the fuzz shrinker's starting point).
+inline ::testing::AssertionResult matches_reference(
+    const spf::ShortestPathTree& tree, const ReferenceLabels& ref) {
+  for (graph::NodeId v = 0; v < tree.num_nodes(); ++v) {
+    if (tree.dist(v) != ref.dist[v] || tree.key(v) != ref.key[v]) {
+      return ::testing::AssertionFailure()
+             << "node " << v << ": tree (key " << tree.key(v) << ", dist "
+             << tree.dist(v) << ") vs reference (key " << ref.key[v]
+             << ", dist " << ref.dist[v] << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace rbpc::testing
