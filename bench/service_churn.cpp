@@ -55,7 +55,30 @@
 //                            printed to stderr). CI curls /metrics mid-run.
 //        --serve-hold-ms N   keep the endpoint up N ms after the storms
 //                            finish so an external scraper can land
+//
+// Persistence-plane flags (DESIGN.md §14):
+//        --persist-dir DIR   enable the crash-safe persistence plane: each
+//                            storm's service journals snapshot + WAL into
+//                            its own subdirectory of DIR
+//        --restart           after each storm quiesces, stop the service,
+//                            boot a fresh instance from its journal and
+//                            re-check view==truth and the bit-identical
+//                            table invariants on the recovered instance.
+//                            LSA accounting is skipped on that instance:
+//                            recovery replays journal records, not the
+//                            storm's deliveries, so applied+discarded is
+//                            not comparable to the delivery count.
+//        --watchdog-ms N     watchdog thread flags any reroute worker whose
+//                            heartbeat gauge (svc.worker.heartbeat_ns.<w>,
+//                            stamped every worker-loop pass, so an idle
+//                            worker still beats) goes silent for more than
+//                            N ms mid-churn, and dumps the flight-recorder
+//                            rings to --flight-dump for the postmortem
+//                            (0 = off). Flags are warnings, not failures:
+//                            a starved CI runner can stall a thread without
+//                            the service being wrong.
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <chrono>
@@ -75,6 +98,7 @@
 #include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/slo.hpp"
 #include "service/service.hpp"
 #include "spf/metric.hpp"
@@ -129,7 +153,8 @@ std::vector<core::Restoration> serial_replay(const Graph& g,
 std::size_t check_invariants(const RestorationService& svc,
                              const chaos::Storm& storm,
                              const std::vector<Demand>& demands,
-                             spf::Metric metric, const std::string& context) {
+                             spf::Metric metric, const std::string& context,
+                             bool check_accounting) {
   std::size_t violations = 0;
   const auto fail = [&](const std::string& what) {
     std::cerr << "VIOLATION (" << context << "): " << what << "\n";
@@ -162,8 +187,9 @@ std::size_t check_invariants(const RestorationService& svc,
   }
 
   const ServiceStats stats = svc.stats();
-  if (stats.events_applied + stats.events_discarded !=
-      storm.deliveries.size()) {
+  if (check_accounting &&
+      stats.events_applied + stats.events_discarded !=
+          storm.deliveries.size()) {
     fail("LSA accounting: applied " + std::to_string(stats.events_applied) +
          " + discarded " + std::to_string(stats.events_discarded) +
          " != deliveries " + std::to_string(storm.deliveries.size()));
@@ -190,6 +216,9 @@ int main(int argc, char** argv) {
   const std::uint64_t slo_p99_us = args.get_uint("slo-p99-us", 200'000);
   const std::uint64_t slo_no_route_pm = args.get_uint("slo-no-route-pm", 1000);
   const std::string flight_dump = args.get_string("flight-dump", "");
+  const std::string persist_dir = args.get_string("persist-dir", "");
+  const bool restart = args.has("restart");
+  const std::uint64_t watchdog_ms = args.get_uint("watchdog-ms", 0);
   const bool serve = args.has("serve-port");
   const auto serve_port =
       static_cast<std::uint16_t>(args.get_uint("serve-port", 0));
@@ -253,7 +282,8 @@ int main(int argc, char** argv) {
   std::size_t total_violations = 0;
   std::uint64_t total_reroutes = 0;
   std::uint64_t total_wall_ns = 0;
-  bool flight_dumped = false;
+  std::atomic<bool> flight_dumped{false};
+  std::atomic<std::uint64_t> watchdog_flags{0};
 
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     const Graph& g = cases[ci].g;
@@ -272,7 +302,49 @@ int main(int argc, char** argv) {
       options.shards = shards;
       options.workers = workers;
       options.queue_capacity = queue;
-      RestorationService svc(g, demands, options);
+      if (!persist_dir.empty()) {
+        // One journal directory per storm: demands differ per storm, so a
+        // later restart must recover against the matching demand set.
+        options.persist.dir = persist_dir + "/" + cases[ci].name + "_s" +
+                              std::to_string(s);
+      }
+      auto svc =
+          std::make_unique<RestorationService>(g, demands, options);
+
+      // Watchdog: every worker stamps svc.worker.heartbeat_ns.<w> on each
+      // worker-loop pass (idle workers included), so a heartbeat older than
+      // the budget means a reroute wedged or a queue deadlocked — exactly
+      // what the flight rings can explain post mortem.
+      std::atomic<bool> watchdog_stop{false};
+      std::thread watchdog;
+      if (watchdog_ms > 0) {
+        watchdog = std::thread([&] {
+          const std::uint64_t budget_ns = watchdog_ms * 1'000'000;
+          const auto nap = std::chrono::milliseconds(
+              std::max<std::uint64_t>(1, watchdog_ms / 4));
+          while (!watchdog_stop.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(nap);
+            for (std::size_t w = 0; w < svc->num_workers(); ++w) {
+              const std::uint64_t beat = svc->worker_heartbeat_ns(w);
+              if (beat == 0) continue;  // worker not yet scheduled
+              const std::uint64_t now = obs::now_ns();
+              if (now > beat && now - beat > budget_ns) {
+                watchdog_flags.fetch_add(1, std::memory_order_relaxed);
+                std::cerr << "WATCHDOG (" << cases[ci].name << " storm " << s
+                          << "): worker " << w << " silent for "
+                          << (now - beat) / 1'000'000 << " ms\n";
+                if (!flight_dump.empty() && !flight_dumped.exchange(true)) {
+                  svc->flight_recorder().dump_to_file(
+                      flight_dump,
+                      "watchdog: worker " + std::to_string(w) +
+                          " heartbeat silent past " +
+                          std::to_string(watchdog_ms) + " ms");
+                }
+              }
+            }
+          }
+        });
+      }
 
       // The churn window: concurrent striped ingest through quiescence.
       const auto t0 = std::chrono::steady_clock::now();
@@ -283,36 +355,61 @@ int main(int argc, char** argv) {
           threads.emplace_back([&, t] {
             for (std::size_t i = t; i < storm.deliveries.size();
                  i += ingest_threads) {
-              svc.ingest(storm.deliveries[i].event);
+              svc->ingest(storm.deliveries[i].event);
             }
           });
         }
         for (std::thread& th : threads) th.join();
       }
-      svc.quiesce();
+      svc->quiesce();
       wall_ns += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count());
+      if (watchdog.joinable()) {
+        watchdog_stop.store(true, std::memory_order_release);
+        watchdog.join();
+      }
 
-      const std::size_t storm_violations =
-          check_invariants(svc, storm, demands, options.metric,
-                           cases[ci].name + " storm " + std::to_string(s));
+      const std::size_t storm_violations = check_invariants(
+          *svc, storm, demands, options.metric,
+          cases[ci].name + " storm " + std::to_string(s),
+          /*check_accounting=*/true);
       violations += storm_violations;
-      if (storm_violations > 0 && !flight_dump.empty() && !flight_dumped) {
+      if (storm_violations > 0 && !flight_dump.empty() &&
+          !flight_dumped.exchange(true)) {
         // Ship the evidence from the service that actually failed: its
         // rings still hold the last reroutes (request ids, ladder rungs,
         // stage timings) that produced the divergent table.
-        flight_dumped = svc.flight_recorder().dump_to_file(
+        svc->flight_recorder().dump_to_file(
             flight_dump, "service churn invariant violation: " +
                              cases[ci].name + " storm " + std::to_string(s));
       }
-      const ServiceStats stats = svc.stats();
+      const ServiceStats stats = svc->stats();
       reroutes += stats.reroutes;
       installs += stats.installs;
       revalidated += stats.revalidations;
       deferred += stats.deferred;
-      svc.stop();
+      svc->stop();
+
+      if (restart && !persist_dir.empty()) {
+        // Graceful-restart leg: tear the process state down (the journal
+        // survives), boot a fresh instance from the same directory, and
+        // hold the recovered service to the same view==truth and
+        // bit-identical-table bar once its re-enqueued reroutes settle.
+        svc.reset();
+        RestorationService svc2(g, demands, options);
+        const std::string ctx =
+            cases[ci].name + " storm " + std::to_string(s) + " restart";
+        if (!svc2.recovered()) {
+          std::cerr << "VIOLATION (" << ctx << "): journal did not recover\n";
+          ++violations;
+        }
+        svc2.quiesce();
+        violations += check_invariants(svc2, storm, demands, options.metric,
+                                       ctx, /*check_accounting=*/false);
+        svc2.stop();
+      }
     }
 
     total_violations += violations;
@@ -358,6 +455,11 @@ int main(int argc, char** argv) {
   if (endpoint != nullptr && serve_hold_ms > 0) {
     std::cerr << "holding endpoint for " << serve_hold_ms << " ms\n";
     std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+  }
+
+  if (watchdog_flags.load() > 0) {
+    std::cerr << "watchdog: " << watchdog_flags.load()
+              << " silent-worker flags (see stderr above; warnings only)\n";
   }
 
   int rc = obs_cli.finish();

@@ -33,6 +33,19 @@ graph::FailureMask Storm::final_mask() const {
   return mask;
 }
 
+graph::FailureMask Storm::mask_at(lsdb::SimTime t) const {
+  graph::FailureMask mask;
+  for (const StormEvent& tr : truth) {
+    if (tr.at > t) break;  // truth is in time order
+    if (tr.event.up) {
+      mask.restore_edge(tr.event.edge);
+    } else {
+      mask.fail_edge(tr.event.edge);
+    }
+  }
+  return mask;
+}
+
 std::vector<std::uint64_t> Storm::final_generations(
     std::size_t num_edges) const {
   std::vector<std::uint64_t> gen(num_edges, 0);

@@ -75,6 +75,11 @@ struct Storm {
 
   /// The ground-truth failure state after all transitions.
   graph::FailureMask final_mask() const;
+  /// The ground-truth failure state after the transitions with at <= t —
+  /// what the data plane enforces at time t. The graceful-restart drill
+  /// uses this to grade retained FECs while the control plane is down:
+  /// a stale route keeps delivering iff it is alive under mask_at(crash).
+  graph::FailureMask mask_at(lsdb::SimTime t) const;
   /// Highest generation per edge (0 = untouched), from the truth stream.
   std::vector<std::uint64_t> final_generations(std::size_t num_edges) const;
 };

@@ -143,6 +143,16 @@ Path PathArena::to_path(const Graph& g, PathRef r) const {
   return view(r).to_path(g);
 }
 
+void PathArena::adopt(std::vector<NodeId> nodes, std::vector<EdgeId> edges) {
+  require(open_ == kClosed, "PathArena::adopt: a path is open");
+  require(nodes.size() == edges.size(),
+          "PathArena::adopt: arrays must be index-aligned");
+  require(nodes.size() <= kClosed - 1, "PathArena::adopt: arena overflow");
+  nodes_ = std::move(nodes);
+  edges_ = std::move(edges);
+  sync_gauge();
+}
+
 PathArena::Mark PathArena::mark() const {
   require(open_ == kClosed, "PathArena::mark: a path is open");
   return Mark{static_cast<std::uint32_t>(nodes_.size())};

@@ -116,6 +116,21 @@ class PathArena {
   PathRef commit_reversed();
   void abandon();
 
+  // --- Serialization boundary (src/persist snapshots) -----------------------
+  //
+  // A snapshot persists the arena as its two raw arrays plus the PathRef
+  // handles; adopt() is the inverse, replacing this arena's contents with
+  // previously exported arrays so recovery can view()/to_path() the same
+  // refs. The exported layout is the in-memory layout (pad slots included).
+
+  std::span<const NodeId> nodes_data() const { return nodes_; }
+  std::span<const EdgeId> edges_data() const { return edges_; }
+  /// Replaces the arena contents with exported raw arrays. Structural
+  /// validation only (index-aligned lengths, no open path); per-path
+  /// validity is checked by to_path() against the graph, as recovery does.
+  /// Throws PreconditionError on misaligned input.
+  void adopt(std::vector<NodeId> nodes, std::vector<EdgeId> edges);
+
   // --- Checkpointing --------------------------------------------------------
   //
   // Probe-and-discard callers (overlay decomposition's candidate scans)

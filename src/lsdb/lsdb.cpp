@@ -1,5 +1,6 @@
 #include "lsdb/lsdb.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 
@@ -34,6 +35,30 @@ bool Lsdb::apply(const LinkEvent& ev) {
 
 std::uint64_t Lsdb::applied_generation(EdgeId e) const {
   return e < generation_.size() ? generation_[e] : 0;
+}
+
+std::vector<LinkStateRecord> Lsdb::export_records() const {
+  std::vector<LinkStateRecord> out;
+  // Touched edges: any with an applied generation, plus any failed edge
+  // (unsequenced failures carry generation 0 but are still state).
+  std::size_t edges = generation_.size();
+  for (const EdgeId e : view_.failed_edges()) {
+    edges = std::max<std::size_t>(edges, static_cast<std::size_t>(e) + 1);
+  }
+  for (EdgeId e = 0; e < edges; ++e) {
+    const bool down = view_.edge_failed(e);
+    const std::uint64_t gen = applied_generation(e);
+    if (down || gen != 0) out.push_back({e, down, gen});
+  }
+  return out;
+}
+
+std::size_t Lsdb::import_records(const std::vector<LinkStateRecord>& records) {
+  std::size_t applied = 0;
+  for (const LinkStateRecord& r : records) {
+    if (apply({r.edge, !r.down, r.generation})) ++applied;
+  }
+  return applied;
 }
 
 bool Lsdb::knows_down(EdgeId e) const { return view_.edge_failed(e); }

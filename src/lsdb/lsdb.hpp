@@ -31,6 +31,17 @@ struct LinkEvent {
   std::uint64_t generation = 0;
 };
 
+/// One edge's durable link state: the pair a persistence plane must carry
+/// to reconstruct an Lsdb exactly. Replaying records through the
+/// generation-gated apply() is order-independent per edge (newest wins,
+/// duplicates discard), which is what lets snapshot + WAL replay restore a
+/// view without caring how appends interleaved (src/persist).
+struct LinkStateRecord {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  bool down = false;
+  std::uint64_t generation = 0;  ///< highest applied LSA generation (0 = none)
+};
+
 /// One router's view of which links are currently down. Each router applies
 /// the LSAs it has received; views therefore lag reality during floods.
 /// Chaotic floods deliver LSAs lost, late, duplicated and reordered; the
@@ -55,6 +66,15 @@ class Lsdb {
   /// superseded by a newer applied generation.
   std::uint64_t duplicates_discarded() const { return duplicates_; }
   std::uint64_t stale_discarded() const { return stale_; }
+
+  /// The view's durable state: one record per *touched* edge (down or
+  /// nonzero applied generation), in edge order. import_records() of the
+  /// result into a fresh Lsdb reproduces view() and applied_generation()
+  /// exactly — the round-trip the persistence plane's snapshots rely on.
+  std::vector<LinkStateRecord> export_records() const;
+  /// Applies each record as a generation-gated event (so importing into a
+  /// non-fresh view keeps newest-wins semantics). Returns records applied.
+  std::size_t import_records(const std::vector<LinkStateRecord>& records);
 
  private:
   graph::FailureMask view_;

@@ -114,6 +114,7 @@ void append_record_json(std::ostringstream& os, const RerouteRecord& r) {
      << ", \"revalidated\": "
      << ((r.flags & kFlagRevalidated) ? "true" : "false")
      << ", \"deferred\": " << ((r.flags & kFlagDeferred) ? "true" : "false")
+     << ", \"recovery\": " << ((r.flags & kFlagRecovery) ? "true" : "false")
      << ", \"snapshot_version\": " << r.snapshot_version
      << ",\n     \"enqueue_ns\": " << r.enqueue_ns
      << ", \"start_ns\": " << r.start_ns

@@ -47,6 +47,9 @@ const char* rung_name(Rung r);
 inline constexpr std::uint8_t kFlagInstalled = 1u << 0;    ///< route changed
 inline constexpr std::uint8_t kFlagRevalidated = 1u << 1;  ///< re-enqueued
 inline constexpr std::uint8_t kFlagDeferred = 1u << 2;     ///< sat in deferred set
+/// Pass was (re-)enqueued by startup recovery (snapshot + WAL replay), not
+/// by a live LSA — flight dumps from a warm restart label catch-up work.
+inline constexpr std::uint8_t kFlagRecovery = 1u << 3;
 
 /// One reroute's lifecycle. Plain trivially-copyable data: built on the
 /// worker's stack, published into the flight recorder by relaxed atomic

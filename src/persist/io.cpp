@@ -1,0 +1,273 @@
+#include "persist/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace rbpc::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void io_fail(const char* op, const std::string& path) {
+  throw IoError(std::string("persist: ") + op + " failed for '" + path +
+                "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+// --- FileIo ----------------------------------------------------------------
+
+namespace {
+
+class FdStream final : public PersistIo::Stream {
+ public:
+  FdStream(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~FdStream() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void write(const void* data, std::size_t len) override {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const ssize_t n = ::write(fd_, p, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        io_fail("write", path_);
+      }
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) io_fail("fsync", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+std::unique_ptr<PersistIo::Stream> open_fd(const std::string& path,
+                                           int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) io_fail("open", path);
+  return std::make_unique<FdStream>(fd, path);
+}
+
+}  // namespace
+
+std::unique_ptr<PersistIo::Stream> FileIo::open_trunc(
+    const std::string& path) {
+  return open_fd(path, O_WRONLY | O_CREAT | O_TRUNC);
+}
+
+std::unique_ptr<PersistIo::Stream> FileIo::open_append(
+    const std::string& path) {
+  return open_fd(path, O_WRONLY | O_CREAT | O_APPEND);
+}
+
+void FileIo::rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) io_fail("rename", from);
+}
+
+void FileIo::remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) io_fail("unlink", path);
+}
+
+void FileIo::truncate_file(const std::string& path, std::uint64_t len) {
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+    io_fail("truncate", path);
+  }
+}
+
+bool FileIo::read_file(const std::string& path,
+                       std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return false;
+    io_fail("open", path);
+  }
+  out.clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+std::vector<std::string> FileIo::list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  return names;  // ec set (missing dir) leaves names empty, as documented
+}
+
+void FileIo::make_dirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw IoError("persist: mkdir failed for '" + dir +
+                        "': " + ec.message());
+}
+
+// --- FailpointIo -----------------------------------------------------------
+
+FailpointIo::FailpointIo(PersistIo& inner) : inner_(inner) {}
+
+void FailpointIo::arm(std::uint64_t kill_at, FailMode mode) {
+  kill_at_ = kill_at;
+  mode_ = mode;
+  ops_.store(0, std::memory_order_relaxed);
+  dead_.store(false, std::memory_order_release);
+}
+
+bool FailpointIo::step() {
+  if (dead_.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (op == kill_at_) {
+    dead_.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+/// Buffers writes until sync(), like the page cache: a crash between a
+/// write and its fsync loses the bytes (kStop), lands a prefix (kTorn) or
+/// lands them mangled (kFlip). The destructor flushes without syncing —
+/// the OS writes closed files back eventually, and the store never relies
+/// on un-synced data anyway.
+class FailpointIo::BufferedStream final : public PersistIo::Stream {
+ public:
+  BufferedStream(FailpointIo& owner, std::unique_ptr<Stream> inner)
+      : owner_(owner), inner_(std::move(inner)) {}
+
+  ~BufferedStream() override {
+    if (!owner_.dead_ && inner_ != nullptr && !pending_.empty()) {
+      inner_->write(pending_.data(), pending_.size());
+    }
+  }
+
+  void write(const void* data, std::size_t len) override {
+    const bool was_dead = owner_.dead_;
+    if (!owner_.step()) {
+      // Fired on *this* op: decide what of the in-flight bytes landed.
+      // Already dead: the bytes silently go nowhere.
+      if (!was_dead) die_with(static_cast<const std::uint8_t*>(data), len);
+      return;
+    }
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    pending_.insert(pending_.end(), p, p + len);
+  }
+
+  void sync() override {
+    const bool was_dead = owner_.dead_;
+    if (!owner_.step()) {
+      if (!was_dead) die_with(nullptr, 0);
+      return;
+    }
+    if (inner_ == nullptr) return;
+    if (!pending_.empty()) {
+      inner_->write(pending_.data(), pending_.size());
+      pending_.clear();
+    }
+    inner_->sync();
+  }
+
+ private:
+  /// The kill fired on this stream. Model what of the in-flight bytes
+  /// (buffered + the write being attempted) made it to disk: nothing
+  /// (kStop), a prefix (kTorn), or everything with one bit flipped
+  /// (kFlip). Whatever lands is synced so recovery really sees it.
+  void die_with(const std::uint8_t* data, std::size_t len) {
+    if (inner_ == nullptr) return;
+    std::vector<std::uint8_t> inflight = std::move(pending_);
+    pending_.clear();
+    if (data != nullptr) inflight.insert(inflight.end(), data, data + len);
+    if (inflight.empty()) return;
+    switch (owner_.mode_) {
+      case FailMode::kStop:
+        return;
+      case FailMode::kTorn:
+        inflight.resize((inflight.size() + 1) / 2);
+        break;
+      case FailMode::kFlip:
+        inflight[inflight.size() / 2] ^= 0x10;
+        break;
+    }
+    if (inflight.empty()) return;
+    inner_->write(inflight.data(), inflight.size());
+    inner_->sync();
+  }
+
+  FailpointIo& owner_;
+  std::unique_ptr<Stream> inner_;
+  std::vector<std::uint8_t> pending_;
+};
+
+std::unique_ptr<PersistIo::Stream> FailpointIo::open_trunc(
+    const std::string& path) {
+  if (!step()) {
+    return std::make_unique<BufferedStream>(*this, nullptr);
+  }
+  return std::make_unique<BufferedStream>(*this, inner_.open_trunc(path));
+}
+
+std::unique_ptr<PersistIo::Stream> FailpointIo::open_append(
+    const std::string& path) {
+  if (!step()) {
+    return std::make_unique<BufferedStream>(*this, nullptr);
+  }
+  return std::make_unique<BufferedStream>(*this, inner_.open_append(path));
+}
+
+void FailpointIo::rename_file(const std::string& from, const std::string& to) {
+  if (!step()) return;
+  inner_.rename_file(from, to);
+}
+
+void FailpointIo::remove_file(const std::string& path) {
+  if (!step()) return;
+  inner_.remove_file(path);
+}
+
+void FailpointIo::truncate_file(const std::string& path, std::uint64_t len) {
+  if (!step()) return;
+  inner_.truncate_file(path, len);
+}
+
+bool FailpointIo::read_file(const std::string& path,
+                            std::vector<std::uint8_t>& out) {
+  return inner_.read_file(path, out);  // reads are not durability boundaries
+}
+
+std::vector<std::string> FailpointIo::list_dir(const std::string& dir) {
+  return inner_.list_dir(dir);
+}
+
+void FailpointIo::make_dirs(const std::string& dir) {
+  if (!step()) return;
+  inner_.make_dirs(dir);
+}
+
+}  // namespace rbpc::persist

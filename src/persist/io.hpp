@@ -1,0 +1,137 @@
+// Durability boundary abstraction for the persistence plane.
+//
+// PersistentStore (store.hpp) never touches the filesystem directly; every
+// write, fsync, rename, remove and truncate goes through a PersistIo. Two
+// implementations:
+//
+//  * FileIo — the real thing: POSIX fds, fsync on sync(), rename(2) for
+//    atomic publish. What production services and the restart bench use.
+//
+//  * FailpointIo — the crash-injection shim wrapping another PersistIo.
+//    Every durability operation is numbered; arm(k, mode) makes the k-th
+//    operation the crash point. When it fires the shim goes *dead*: the
+//    armed operation and everything after it silently no-ops, modeling a
+//    process that died at that instant (nothing it "did" afterwards ever
+//    reached disk). Streams buffer writes until sync() — like the page
+//    cache — so a kill drops every unsynced byte, and the torn/bit-flip
+//    modes flush a corrupted prefix first to model a partial or mangled
+//    sector making it to the platter. The harness then destroys the
+//    in-memory service (the other half of the crash) and recovers through
+//    a plain FileIo, asserting the recovered state converges
+//    (tests/test_persist.cpp).
+//
+// Operation numbering is deterministic as long as the callers' operation
+// *order* is deterministic; the kill-point sweep arranges that by running
+// the service single-worker and quiescing between ingests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/format.hpp"
+
+namespace rbpc::persist {
+
+class PersistIo {
+ public:
+  /// A writable byte stream (snapshot temp file or WAL). write() may
+  /// buffer; sync() makes everything written so far durable.
+  class Stream {
+   public:
+    virtual ~Stream() = default;
+    virtual void write(const void* data, std::size_t len) = 0;
+    virtual void sync() = 0;
+  };
+
+  virtual ~PersistIo() = default;
+
+  /// Opens `path` truncated to empty (created if missing).
+  virtual std::unique_ptr<Stream> open_trunc(const std::string& path) = 0;
+  /// Opens `path` for appending (created if missing).
+  virtual std::unique_ptr<Stream> open_append(const std::string& path) = 0;
+  /// Atomic publish: rename(2) semantics (replaces `to` if present).
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  /// Missing file is not an error.
+  virtual void remove_file(const std::string& path) = 0;
+  virtual void truncate_file(const std::string& path, std::uint64_t len) = 0;
+  /// Returns false when the file does not exist; throws IoError on other
+  /// failures. Reads are not durability boundaries (recovery-side only).
+  virtual bool read_file(const std::string& path,
+                         std::vector<std::uint8_t>& out) = 0;
+  /// Plain file names (no directories), unsorted; empty for a missing dir.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+  virtual void make_dirs(const std::string& dir) = 0;
+};
+
+/// POSIX filesystem implementation. sync() is fsync(2); rename_file is
+/// rename(2) — atomic on the same filesystem, which is all the store asks
+/// for (temp file and target live in the same directory).
+class FileIo final : public PersistIo {
+ public:
+  std::unique_ptr<Stream> open_trunc(const std::string& path) override;
+  std::unique_ptr<Stream> open_append(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void truncate_file(const std::string& path, std::uint64_t len) override;
+  bool read_file(const std::string& path,
+                 std::vector<std::uint8_t>& out) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void make_dirs(const std::string& dir) override;
+};
+
+/// What the armed crash does to the bytes in flight at the kill point.
+enum class FailMode : std::uint8_t {
+  kStop = 0,  ///< clean kill: unsynced bytes vanish entirely
+  kTorn = 1,  ///< a prefix of the in-flight bytes reaches disk, then kill
+  kFlip = 2,  ///< the in-flight bytes land with one bit flipped, then kill
+};
+
+class FailpointIo final : public PersistIo {
+ public:
+  /// Wraps `inner` (not owned; must outlive the shim). Starts disarmed:
+  /// every operation passes through (still buffered-until-sync).
+  explicit FailpointIo(PersistIo& inner);
+
+  /// Arms the crash at durability operation number `kill_at` (0-based,
+  /// counted across all streams and metadata ops) and resets the counter.
+  /// Pass a huge kill_at to count operations without firing.
+  void arm(std::uint64_t kill_at, FailMode mode);
+
+  /// Operations seen since the last arm().
+  std::uint64_t ops_seen() const { return ops_.load(std::memory_order_relaxed); }
+  /// Whether the armed kill fired. Atomic: the harness polls this from its
+  /// driver thread while service threads run ops under the persist mutex.
+  bool fired() const { return dead_.load(std::memory_order_acquire); }
+
+  std::unique_ptr<Stream> open_trunc(const std::string& path) override;
+  std::unique_ptr<Stream> open_append(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void truncate_file(const std::string& path, std::uint64_t len) override;
+  bool read_file(const std::string& path,
+                 std::vector<std::uint8_t>& out) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void make_dirs(const std::string& dir) override;
+
+ private:
+  class BufferedStream;
+  friend class BufferedStream;
+
+  /// Counts one durability operation. Returns true when the caller should
+  /// execute it for real; false when the shim just died (or was already
+  /// dead). Metadata ops that fire under kTorn/kFlip have no byte payload
+  /// to corrupt, so every mode degenerates to kStop for them.
+  bool step();
+
+  PersistIo& inner_;
+  std::uint64_t kill_at_ = ~std::uint64_t{0};
+  FailMode mode_ = FailMode::kStop;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace rbpc::persist

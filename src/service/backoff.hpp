@@ -1,0 +1,59 @@
+// Bounded exponential backoff with decorrelated jitter for the deferred-
+// reroute set.
+//
+// When the MPMC queue is full the service parks demands in the deferred
+// set (the stale-FEC rung) and workers try to move them back on every idle
+// loop. Retrying at full tick rate under sustained overload just burns the
+// lock and re-fails the push in sync across workers; instead each failed
+// drain schedules the next attempt after a backoff drawn from the
+// decorrelated-jitter scheme (Brooker, AWS architecture blog):
+//
+//     sleep = min(cap, uniform(base, prev * 3))
+//
+// Decorrelation (sampling from [base, 3*prev] instead of doubling a fixed
+// ladder) spreads retries of independent backoff loops apart even when
+// they entered overload at the same instant, while the cap bounds the
+// added staleness: once the queue has room again the deferred set is
+// drained at most `cap_us` late. quiesce() bypasses the delay (force
+// drain), so convergence-critical paths never wait on a backoff timer.
+//
+// Pure function + caller-owned PRNG state so the policy is unit-testable
+// without a service (tests/test_service.cpp BackoffTest).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rbpc::service {
+
+struct BackoffPolicy {
+  std::uint64_t base_us = 100;   ///< first retry delay / jitter floor
+  std::uint64_t cap_us = 10000;  ///< hard bound on any retry delay
+  std::uint64_t multiplier = 3;  ///< growth factor on the previous delay
+};
+
+/// xorshift64* step — a self-contained PRNG so backoff never contends on a
+/// shared generator. `state` must be nonzero (next_backoff_us enforces it).
+inline std::uint64_t backoff_rng_next(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+/// The next delay after a failed drain whose previous delay was `prev_us`
+/// (0 on the first failure). Returns a value in [base_us, cap_us].
+inline std::uint64_t next_backoff_us(std::uint64_t prev_us,
+                                     const BackoffPolicy& policy,
+                                     std::uint64_t& rng_state) {
+  if (rng_state == 0) rng_state = 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t base = std::max<std::uint64_t>(policy.base_us, 1);
+  const std::uint64_t cap = std::max<std::uint64_t>(policy.cap_us, base);
+  // uniform over [base, max(base, prev * multiplier)], then capped
+  const std::uint64_t prev = std::min(prev_us, cap);
+  const std::uint64_t hi = std::max(base, prev * policy.multiplier);
+  const std::uint64_t span = std::min(hi, cap) - base + 1;
+  return base + backoff_rng_next(rng_state) % span;
+}
+
+}  // namespace rbpc::service

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/decompose.hpp"
+#include "graph/path_arena.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -44,6 +45,32 @@
 // the installed route equals source_rbpc_restore under the final mask —
 // and greedy decomposition over the canonical base set is a deterministic
 // function of the route, so the whole Restoration matches bit for bit.
+//
+// Crash consistency of the persistence plane (DESIGN.md §14):
+//
+// Applied LSAs and committed reroutes append to the WAL *after* their
+// in-memory mutation (lsdb apply / install under routes_mu_), and snapshot
+// capture runs with persist_mu_ held — the same mutex every append holds.
+// So for any append A and rotation R: if A's append happened before R took
+// persist_mu_, A's mutation is visible to R's capture (the snapshot
+// supersedes the record, and losing the old WAL is safe); if A's append
+// happened after, the record lands in the *new* WAL. A record can land in
+// the new WAL even though the snapshot already covers it (append raced
+// between mutation and lock) — replay absorbs that: LSA replay is
+// generation-gated (duplicates discard) and FEC replay is stamp-gated
+// newest-wins, both idempotent.
+//
+// A crash can only lose the *suffix* of in-memory work whose WAL append
+// never became durable (plus torn bytes of the record mid-write, which the
+// per-record CRC catches and recovery truncates). What remains is a
+// consistent *earlier* state of this same service: recovery rebuilds it,
+// re-enqueues every demand that is dirty or riding a known-down edge (a
+// superset of the work that was in flight), and the LSA flood's
+// retransmission/refresh re-delivers whatever the LSDB never durably
+// learned — generation gating discards what it already knows. From there
+// the purity argument above takes over, so post-recovery quiescence equals
+// the serial restoration of the final mask, crash or no crash
+// (tests/test_persist.cpp sweeps every kill point to hold exactly this).
 namespace rbpc::service {
 
 using graph::EdgeId;
@@ -73,6 +100,7 @@ RestorationService::RestorationService(const graph::Graph& g,
       revalidations_(registry().counter("svc.revalidations")),
       deferred_count_(registry().counter("svc.deferred")),
       snapshots_(registry().counter("svc.snapshots")),
+      backoff_waits_(registry().counter("svc.defer.backoff.waits")),
       no_route_g_(registry().gauge("svc.no_route")),
       flight_(options.workers == 0 ? ThreadPool::default_threads()
                                    : options.workers,
@@ -100,14 +128,29 @@ RestorationService::RestorationService(const graph::Graph& g,
     st.baseline = r;
     st.route = std::move(r);
     st.dirty = false;
-    if (!st.route.restored()) ++no_route_count_;
-    for (const EdgeId e : st.route.backup.edges()) {
-      edge_demands_[e].push_back(static_cast<std::uint32_t>(i));
-    }
   }
+
+  // Warm restart: load the persisted state plane (snapshot + WAL replay)
+  // over the freshly provisioned baselines, retaining the pre-crash FEC
+  // table and re-enqueueing what recovery proves stale. Runs before any
+  // worker or the route index exists.
+  if (!options_.persist.dir.empty()) init_persistence();
+
+  rebuild_route_index();
   no_route_g_.set(static_cast<std::int64_t>(no_route_count_));
   registry().gauge("svc.demands").set(
       static_cast<std::int64_t>(demands_.size()));
+
+  // Per-worker liveness plane: heartbeat slots plus registry gauges the
+  // service_churn watchdog (and any scraper) reads.
+  heartbeats_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(pool_threads_.size());
+  heartbeat_g_.reserve(pool_threads_.size());
+  for (std::size_t w = 0; w < pool_threads_.size(); ++w) {
+    heartbeats_[w].store(0, std::memory_order_relaxed);
+    heartbeat_g_.push_back(
+        registry().gauge("svc.worker.heartbeat_ns." + std::to_string(w)));
+  }
 
   if (options_.serve_metrics) {
     obs::ExpositionOptions eo;
@@ -120,6 +163,12 @@ RestorationService::RestorationService(const graph::Graph& g,
   for (std::size_t w = 0; w < pool_threads_.size(); ++w) {
     pool_threads_.submit([this, w] { worker_loop(w); });
   }
+
+  // Snapshot rotation runs on its own maintenance thread — never on a
+  // worker, so the reroute hot path only ever pays a WAL append.
+  if (store_ != nullptr && options_.persist.maintenance_interval_us > 0) {
+    maint_thread_ = std::thread([this] { maintenance_loop(); });
+  }
 }
 
 // Out-of-line so the unique_ptr<ExpositionServer> member destroys where the
@@ -129,6 +178,245 @@ RestorationService::~RestorationService() { stop(); }
 
 void RestorationService::stop() {
   stopping_.store(true, std::memory_order_seq_cst);
+  maint_stop_.store(true, std::memory_order_seq_cst);
+  if (maint_thread_.joinable()) maint_thread_.join();
+}
+
+// --- Persistence plane ------------------------------------------------------
+
+void RestorationService::init_persistence() {
+  RBPC_TRACE_SPAN("svc.recover");
+  const std::uint64_t t0 = obs::now_ns();
+  persist::PersistIo* io = options_.persist.io;
+  if (io == nullptr) {
+    owned_io_ = std::make_unique<persist::FileIo>();
+    io = owned_io_.get();
+  }
+  store_ = std::make_unique<persist::PersistentStore>(
+      *io, persist::StoreOptions{options_.persist.dir,
+                                 options_.persist.sync_each_record});
+
+  // Resolve the persistence metric families eagerly so a scrape sees them
+  // from service construction, not from the first append/recovery.
+  registry().counter("persist.wal.appends");
+  registry().counter("persist.wal.bytes");
+  registry().counter("persist.wal.truncated");
+  registry().counter("persist.snapshots");
+  registry().counter("persist.recovery.fallbacks");
+  registry().counter("svc.recovery.replayed");
+  registry().counter("svc.recovery.reenqueued");
+  registry().counter("svc.recovery.anomalies");
+
+  const persist::RecoverResult rec = store_->recover();
+  if (rec.found) {
+    apply_recovered(rec);
+    recovered_ = true;
+    recovered_wal_records_ = rec.wal.size();
+  } else {
+    // Fresh store: publish the provisioned baseline state as snapshot #1 so
+    // the rotation invariant ("once the first snapshot exists, every crash
+    // leaves a readable one") holds from the very first WAL append.
+    store_->rotate(capture_state());
+  }
+  recovery_us_ = (obs::now_ns() - t0) / 1000;
+  if (recovered_) {
+    registry().counter("svc.recovery.replayed").add(recovered_wal_records_);
+    registry().counter("svc.recovery.reenqueued").add(recovery_reenqueued_);
+    registry().counter("svc.recovery.anomalies").add(replay_anomalies_);
+    // Registered lazily (recovery path only) so services that never restart
+    // do not export an empty histogram.
+    registry().histogram("svc.recovery.latency").record(recovery_us_);
+  }
+}
+
+void RestorationService::apply_recovered(const persist::RecoverResult& rec) {
+  const persist::SnapshotState& s = rec.snapshot;
+  if (s.num_edges != g_.num_edges() || s.demands.size() != demands_.size()) {
+    throw persist::RecoveryError(
+        "persist: recovered snapshot does not match this service's graph or "
+        "demand set");
+  }
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    if (s.demands[i].src != demands_[i].src ||
+        s.demands[i].dst != demands_[i].dst) {
+      throw persist::RecoveryError(
+          "persist: recovered demand endpoints do not match");
+    }
+  }
+
+  // 1. LSDB: snapshot records then WAL link events, both through the
+  // generation-gated apply — replay is order-independent and idempotent.
+  for (const lsdb::LinkStateRecord& l : s.links) {
+    lsdb_.apply({l.edge, !l.down, l.generation});
+  }
+
+  // 2. FEC table: snapshot routes (arena section), then WAL installs
+  // stamp-gated newest-wins. Decompositions are recomputed afterwards —
+  // greedy decomposition is a deterministic function of (base set, route),
+  // so the rebuilt Restoration is bit-identical to the persisted one's.
+  graph::PathArena arena;
+  arena.adopt(s.arena_nodes, s.arena_edges);
+  std::vector<char> replayed(demands_.size(), 0);
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    const persist::DemandRecord& dr = s.demands[i];
+    DemandState& st = demands_[i];
+    st.stamp = dr.stamp;
+    try {
+      st.route.backup =
+          dr.route.empty() ? graph::Path{} : arena.to_path(g_, dr.route);
+      replayed[i] = 1;
+    } catch (const Error&) {
+      ++replay_anomalies_;  // keep the provisioned baseline route
+    }
+  }
+  for (const persist::WalRecord& w : rec.wal) {
+    switch (w.type) {
+      case persist::WalType::kLinkEvent:
+        if (w.link.edge >= g_.num_edges()) {
+          ++replay_anomalies_;
+          break;
+        }
+        lsdb_.apply(w.link);
+        break;
+      case persist::WalType::kFecInstall: {
+        if (w.fec.demand >= demands_.size()) {
+          ++replay_anomalies_;
+          break;
+        }
+        DemandState& st = demands_[w.fec.demand];
+        if (w.fec.stamp < st.stamp) break;  // superseded within the old life
+        try {
+          st.route.backup =
+              w.fec.nodes.empty()
+                  ? graph::Path{}
+                  : graph::Path::from_parts(g_, w.fec.nodes, w.fec.edges);
+          st.stamp = w.fec.stamp;
+          replayed[w.fec.demand] = 1;
+        } catch (const Error&) {
+          ++replay_anomalies_;
+        }
+        break;
+      }
+    }
+  }
+
+  // 3. Finalize: recompute decompositions for replayed routes, reset the
+  // install stamps (they ordered installs within the *old* process's
+  // snapshot-version sequence; carrying them over would make them compare
+  // against a fresh version counter and reject every new install), and
+  // re-enqueue the superset of in-flight work — every demand that is dirty
+  // or riding an edge the recovered LSDB knows is down. Clean demands keep
+  // serving their retained FECs untouched: that is the graceful restart.
+  const ShardedLsdb::Snapshot snap = lsdb_.snapshot();
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    DemandState& st = demands_[i];
+    if (replayed[i] != 0) {
+      if (st.route.backup == st.baseline.backup) {
+        st.route = st.baseline;  // reuse the baseline's decomposition
+      } else if (st.route.restored()) {
+        st.route.decomposition = core::greedy_decompose(base_, st.route.backup);
+      } else {
+        st.route.decomposition = {};
+      }
+    }
+    st.stamp = 0;
+    st.dirty = !(st.route.backup == st.baseline.backup);
+    bool rides_down_edge = false;
+    for (const EdgeId e : st.route.backup.edges()) {
+      if (snap.edge_failed(e)) {
+        rides_down_edge = true;
+        break;
+      }
+    }
+    if (st.dirty || rides_down_edge) {
+      enqueue_demand(i, obs::kFlagRecovery);
+      ++recovery_reenqueued_;
+    }
+  }
+  if (replay_anomalies_ > 0) {
+    maybe_dump_flight("persist: WAL replay anomaly");
+  }
+}
+
+persist::SnapshotState RestorationService::capture_state() {
+  persist::SnapshotState s;
+  s.num_edges = static_cast<std::uint32_t>(g_.num_edges());
+  const ShardedLsdb::Snapshot snap = lsdb_.snapshot();
+  s.lsdb_version = snap.version();
+  for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+    const bool down = snap.edge_failed(e);
+    const std::uint64_t gen = snap.generation(e);
+    if (down || gen != 0) s.links.push_back({e, down, gen});
+  }
+
+  // FEC table under the install lock; paths go into the snapshot's arena
+  // section in the PathArena pad-slot layout (nodes/edges index-aligned).
+  const auto store_path = [&s](const graph::Path& p) {
+    graph::PathRef r;
+    if (p.empty()) return r;
+    r.offset = static_cast<std::uint32_t>(s.arena_nodes.size());
+    r.len = static_cast<std::uint32_t>(p.num_nodes());
+    s.arena_nodes.insert(s.arena_nodes.end(), p.nodes().begin(),
+                         p.nodes().end());
+    s.arena_edges.insert(s.arena_edges.end(), p.edges().begin(),
+                         p.edges().end());
+    s.arena_edges.push_back(graph::kInvalidEdge);  // pad slot
+    return r;
+  };
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  s.demands.reserve(demands_.size());
+  for (const DemandState& st : demands_) {
+    persist::DemandRecord dr;
+    dr.src = st.src;
+    dr.dst = st.dst;
+    dr.stamp = st.stamp;
+    dr.route = store_path(st.route.backup);
+    dr.baseline = store_path(st.baseline.backup);
+    s.demands.push_back(dr);
+  }
+  return s;
+}
+
+void RestorationService::rebuild_route_index() {
+  for (auto& list : edge_demands_) list.clear();
+  no_route_count_ = 0;
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    const DemandState& st = demands_[i];
+    if (!st.route.restored()) ++no_route_count_;
+    for (const EdgeId e : st.route.backup.edges()) {
+      edge_demands_[e].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void RestorationService::append_wal(const persist::WalRecord& rec) {
+  if (store_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  store_->append(rec);
+}
+
+void RestorationService::checkpoint() {
+  if (store_ == nullptr) return;
+  RBPC_TRACE_SPAN("svc.checkpoint");
+  // persist_mu_ held across capture + rotate: appends racing the capture
+  // land in the new WAL (idempotent on replay); appends that beat the lock
+  // are covered by the capture. See the crash-consistency comment above.
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  store_->rotate(capture_state());
+}
+
+void RestorationService::maintenance_loop() {
+  const auto tick =
+      std::chrono::microseconds(options_.persist.maintenance_interval_us);
+  while (!maint_stop_.load(std::memory_order_seq_cst)) {
+    std::this_thread::sleep_for(tick);
+    bool due = false;
+    {
+      std::lock_guard<std::mutex> lock(persist_mu_);
+      due = store_->records_since_rotate() >= options_.persist.snapshot_every;
+    }
+    if (due) checkpoint();
+  }
 }
 
 std::uint16_t RestorationService::metrics_port() const {
@@ -155,6 +443,16 @@ bool RestorationService::ingest(const lsdb::LinkEvent& ev) {
   }
   applied_c.inc();
 
+  if (store_ != nullptr) {
+    // Log the applied LSA before scanning for affected demands: a crash
+    // after the in-memory apply but before the append loses only state the
+    // flood's retransmission re-delivers (generation gating dedups it).
+    persist::WalRecord wr;
+    wr.type = persist::WalType::kLinkEvent;
+    wr.link = ev;
+    append_wal(wr);
+  }
+
   std::vector<std::size_t> affected;
   {
     std::lock_guard<std::mutex> lock(routes_mu_);
@@ -172,7 +470,7 @@ bool RestorationService::ingest(const lsdb::LinkEvent& ev) {
   return true;
 }
 
-void RestorationService::enqueue_demand(std::size_t d) {
+void RestorationService::enqueue_demand(std::size_t d, std::uint8_t flags) {
   DemandState& st = demands_[d];
   bool expected = false;
   if (!st.queued.compare_exchange_strong(expected, true,
@@ -187,6 +485,7 @@ void RestorationService::enqueue_demand(std::size_t d) {
     st.request_id.store(obs::next_request_id(), std::memory_order_relaxed);
     st.enqueue_ns.store(obs::now_ns(), std::memory_order_relaxed);
     st.was_deferred.store(false, std::memory_order_relaxed);
+    st.enqueue_flags.store(flags, std::memory_order_relaxed);
   }
   inflight_.fetch_add(1, std::memory_order_seq_cst);
   if (!queue_.push(d)) {
@@ -204,7 +503,7 @@ void RestorationService::enqueue_demand(std::size_t d) {
       rec.dst = st.dst;
       rec.worker = static_cast<std::uint32_t>(flight_.workers());
       rec.rung = static_cast<std::uint8_t>(obs::Rung::kStaleFec);
-      rec.flags = obs::kFlagDeferred;
+      rec.flags = static_cast<std::uint8_t>(obs::kFlagDeferred | flags);
       flight_.publish_control(rec);
       maybe_dump_flight("degradation ladder: queue-full deferral");
     }
@@ -213,17 +512,44 @@ void RestorationService::enqueue_demand(std::size_t d) {
   }
 }
 
-void RestorationService::drain_deferred() {
+void RestorationService::drain_deferred(bool force) {
   std::lock_guard<std::mutex> lock(deferred_mu_);
+  if (deferred_.empty()) return;
+  // Under sustained overload a failed push re-fails on every worker idle
+  // tick; the decorrelated-jitter window (backoff.hpp) spaces the retries.
+  // quiesce() force-drains so convergence never waits on the timer.
+  if (!force && backoff_until_ns_ != 0 && obs::now_ns() < backoff_until_ns_) {
+    return;
+  }
+  static obs::Gauge backoff_g = registry().gauge("svc.defer.backoff_us");
   while (!deferred_.empty()) {
-    if (!queue_.push(deferred_.back())) break;
+    if (!queue_.push(deferred_.back())) {
+      backoff_us_ =
+          next_backoff_us(backoff_us_, options_.defer_backoff, backoff_rng_);
+      backoff_until_ns_ = obs::now_ns() + backoff_us_ * 1000;
+      backoff_waits_.inc();
+      static obs::Histogram backoff_h =
+          registry().histogram("svc.defer.backoff");
+      backoff_h.record(backoff_us_);
+      backoff_g.set(static_cast<std::int64_t>(backoff_us_));
+      return;
+    }
     deferred_.pop_back();
   }
+  backoff_us_ = 0;
+  backoff_until_ns_ = 0;
+  backoff_g.set(0);
 }
 
 void RestorationService::worker_loop(std::size_t worker) {
   std::size_t d = 0;
   for (;;) {
+    // Watchdog food: any pass through the loop — busy or idle — proves the
+    // worker is alive. service_churn's watchdog compares this against
+    // now_ns() and dumps the flight ring for a worker silent too long.
+    const std::uint64_t now = obs::now_ns();
+    heartbeats_[worker].store(now, std::memory_order_relaxed);
+    heartbeat_g_[worker].set(static_cast<std::int64_t>(now));
     if (queue_.pop(d)) {
       run_reroute(d, worker);
       continue;
@@ -256,6 +582,7 @@ void RestorationService::run_reroute(std::size_t d, std::size_t worker) {
     if (st.was_deferred.load(std::memory_order_relaxed)) {
       rec.flags |= obs::kFlagDeferred;
     }
+    rec.flags |= st.enqueue_flags.load(std::memory_order_relaxed);
     rec.demand = static_cast<std::uint32_t>(d);
     rec.src = st.src;
     rec.dst = st.dst;
@@ -319,8 +646,20 @@ void RestorationService::run_reroute(std::size_t d, std::size_t worker) {
     if (!reachable) rec.rung = static_cast<std::uint8_t>(obs::Rung::kNoRoute);
   }
 
+  // Build the WAL image before install() consumes the route. The append
+  // happens only when the install actually won (stamp gate), so the WAL
+  // carries exactly the committed route sequence.
+  persist::WalRecord wr;
+  if (store_ != nullptr) {
+    wr.type = persist::WalType::kFecInstall;
+    wr.fec.demand = static_cast<std::uint32_t>(d);
+    wr.fec.stamp = v;
+    wr.fec.nodes.assign(r.backup.nodes().begin(), r.backup.nodes().end());
+    wr.fec.edges.assign(r.backup.edges().begin(), r.backup.edges().end());
+  }
   if (install(d, std::move(r), v)) {
     installs_.inc();
+    if (store_ != nullptr) append_wal(wr);
     if constexpr (obs::kObsEnabled) rec.flags |= obs::kFlagInstalled;
   }
   reroutes_.inc();
@@ -374,7 +713,7 @@ void RestorationService::quiesce() {
   for (;;) {
     // Surface a worker exception instead of waiting on work it dropped.
     pool_threads_.rethrow_first_error();
-    drain_deferred();
+    drain_deferred(/*force=*/true);
     if (inflight_.load(std::memory_order_seq_cst) == 0) return;
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
@@ -413,11 +752,29 @@ ServiceStats RestorationService::stats() const {
   s.revalidations = revalidations_.value();
   s.deferred = deferred_count_.value();
   s.snapshots = snapshots_.value();
+  s.backoff_waits = backoff_waits_.value();
   {
     std::lock_guard<std::mutex> lock(routes_mu_);
     s.no_route = no_route_count_;
   }
+  if (store_ != nullptr) {
+    std::lock_guard<std::mutex> lock(persist_mu_);
+    s.wal_appends = store_->appends();
+    s.wal_bytes = store_->bytes_appended();
+    s.persist_snapshots = store_->rotations();
+  }
+  s.recovered = recovered_;
+  s.recovered_wal_records = recovered_wal_records_;
+  s.recovery_reenqueued = recovery_reenqueued_;
+  s.replay_anomalies = replay_anomalies_;
+  s.recovery_us = recovery_us_;
   return s;
+}
+
+std::uint64_t RestorationService::worker_heartbeat_ns(std::size_t worker) const {
+  require(worker < pool_threads_.size(),
+          "RestorationService::worker_heartbeat_ns: bad worker");
+  return heartbeats_[worker].load(std::memory_order_relaxed);
 }
 
 }  // namespace rbpc::service

@@ -36,6 +36,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/base_set.hpp"
@@ -45,6 +47,9 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_trace.hpp"
+#include "persist/io.hpp"
+#include "persist/store.hpp"
+#include "service/backoff.hpp"
 #include "service/mpmc_queue.hpp"
 #include "service/sharded_lsdb.hpp"
 #include "spf/metric.hpp"
@@ -65,12 +70,39 @@ struct Demand {
   graph::NodeId dst = 0;
 };
 
+/// Crash-safe persistence plane configuration (DESIGN.md §14). Disabled by
+/// default; set `dir` to turn it on.
+struct PersistOptions {
+  /// Store directory (created if missing). Empty = persistence disabled.
+  std::string dir;
+  /// Rotate a fresh snapshot once this many WAL records accumulated
+  /// (checked by the maintenance thread, so rotation stays off the worker
+  /// hot path).
+  std::uint64_t snapshot_every = 512;
+  /// Maintenance thread tick. 0 disables the thread entirely — rotation
+  /// then only happens through explicit checkpoint() calls, which is what
+  /// the deterministic crash-injection sweep uses.
+  std::uint64_t maintenance_interval_us = 2000;
+  /// fsync after every WAL append (a committed reroute is durable before
+  /// the worker moves on).
+  bool sync_each_record = true;
+  /// Injected I/O backend (crash tests pass a FailpointIo); must outlive
+  /// the service. nullptr = the service owns a plain FileIo.
+  persist::PersistIo* io = nullptr;
+};
+
 struct ServiceOptions {
   std::size_t shards = 4;          ///< LSDB shards (clamped to edge count)
   std::size_t workers = 0;         ///< reroute workers; 0 = hardware default
   std::size_t queue_capacity = 256;///< MPMC ring size (rounded up to 2^k)
   spf::Metric metric = spf::Metric::Hops;
   std::size_t max_views = 8;       ///< SnapshotTreePool LRU bound
+
+  /// Durable snapshot + WAL state plane; recovery happens in the
+  /// constructor (see recovered() / ServiceStats recovery fields).
+  PersistOptions persist;
+  /// Deferred-set retry pacing (service/backoff.hpp).
+  BackoffPolicy defer_backoff;
 
   // --- Introspection plane (obs/) ---
   /// Per-worker flight-recorder ring size (RerouteRecords kept per worker;
@@ -100,6 +132,17 @@ struct ServiceStats {
   std::uint64_t deferred = 0;          ///< queue-full degradations
   std::uint64_t no_route = 0;          ///< demands currently unrestorable
   std::uint64_t snapshots = 0;         ///< LSDB snapshots taken by workers
+  std::uint64_t backoff_waits = 0;     ///< deferred drains delayed by backoff
+
+  // Persistence plane (all zero when persistence is disabled).
+  std::uint64_t wal_appends = 0;       ///< records appended this lifetime
+  std::uint64_t wal_bytes = 0;         ///< bytes appended this lifetime
+  std::uint64_t persist_snapshots = 0; ///< snapshot rotations this lifetime
+  bool recovered = false;              ///< startup loaded a prior snapshot
+  std::uint64_t recovered_wal_records = 0;  ///< WAL records replayed
+  std::uint64_t recovery_reenqueued = 0;    ///< demands re-enqueued at startup
+  std::uint64_t replay_anomalies = 0;  ///< skipped undecodable replay items
+  std::uint64_t recovery_us = 0;       ///< recover-and-reenqueue wall time
 };
 
 class RestorationService {
@@ -146,6 +189,25 @@ class RestorationService {
 
   ServiceStats stats() const;
 
+  // --- Persistence plane ----------------------------------------------------
+
+  bool persistent() const { return store_ != nullptr; }
+  /// Whether startup recovered a prior snapshot (graceful restart).
+  bool recovered() const { return recovered_; }
+  /// Forces a snapshot rotation now (blocks WAL appends for its duration).
+  /// The maintenance thread calls this on the records_since_rotate
+  /// threshold; tests call it for deterministic rotation points. No-op
+  /// when persistence is disabled.
+  void checkpoint();
+
+  // --- Worker liveness ------------------------------------------------------
+
+  std::size_t num_workers() const { return pool_threads_.size(); }
+  /// obs::now_ns() timestamp of worker w's last loop iteration (0 = never
+  /// ran). The service_churn watchdog compares these against now to flag a
+  /// silent worker.
+  std::uint64_t worker_heartbeat_ns(std::size_t w) const;
+
   /// The service's flight recorder (always present; rings are only written
   /// when the obs plane is compiled in).
   const obs::FlightRecorder& flight_recorder() const { return flight_; }
@@ -170,13 +232,17 @@ class RestorationService {
     std::atomic<std::uint64_t> request_id{0};   ///< causal id of this pass
     std::atomic<std::uint64_t> enqueue_ns{0};   ///< when the pass was queued
     std::atomic<bool> was_deferred{false};      ///< pass hit the queue-full rung
+    std::atomic<std::uint8_t> enqueue_flags{0}; ///< kFlag* set by the enqueuer
   };
 
   void worker_loop(std::size_t worker);
   /// Marks the demand pending and queues it (deferred set on overflow).
-  void enqueue_demand(std::size_t d);
-  /// Moves deferred demands into the queue while there is room.
-  void drain_deferred();
+  /// `flags` tags the pass's flight record (obs::kFlagRecovery at startup).
+  void enqueue_demand(std::size_t d, std::uint8_t flags = 0);
+  /// Moves deferred demands into the queue while there is room. Worker
+  /// calls respect the backoff window after a failed attempt; quiesce()
+  /// forces the attempt (convergence never waits on a retry timer).
+  void drain_deferred(bool force = false);
   /// One reroute task: snapshot, compute, install, revalidate.
   void run_reroute(std::size_t d, std::size_t worker);
   /// One-shot flight dump when the ladder escalates past scratch SPF.
@@ -184,6 +250,27 @@ class RestorationService {
   /// Installs `r` for demand d (stamp = snapshot version); returns whether
   /// the route changed. Caller must NOT hold routes_mu_.
   bool install(std::size_t d, core::Restoration r, std::uint64_t stamp);
+
+  // --- Persistence plane (service.cpp, "crash consistency" comment) ---------
+
+  /// Opens/recovers the store; called from the constructor before any
+  /// worker exists. Throws RecoveryError when the persisted state is
+  /// incompatible with (g, demands).
+  void init_persistence();
+  /// Applies a recovered snapshot + WAL to the in-memory state and
+  /// re-enqueues the demands recovery proves stale (dirty, or route using
+  /// a known-down edge) — the superset of the work that was in flight.
+  void apply_recovered(const persist::RecoverResult& rec);
+  /// Consistent capture of (LSDB records, FEC table) for a snapshot.
+  /// Caller holds persist_mu_; takes routes_mu_ internally.
+  persist::SnapshotState capture_state();
+  /// Rebuilds edge_demands_ and no_route_count_ from the current routes
+  /// (constructor-only, after recovery may have replaced them).
+  void rebuild_route_index();
+  /// Appends one WAL record under persist_mu_ (no-op when disabled).
+  void append_wal(const persist::WalRecord& rec);
+  /// Background snapshot-rotation thread body.
+  void maintenance_loop();
 
   const graph::Graph& g_;
   ServiceOptions options_;
@@ -207,9 +294,33 @@ class RestorationService {
   MpmcQueue<std::size_t> queue_;
   std::mutex deferred_mu_;
   std::vector<std::size_t> deferred_;
+  // Backoff state for the deferred set, guarded by deferred_mu_.
+  std::uint64_t backoff_us_ = 0;        ///< current delay (0 = none pending)
+  std::uint64_t backoff_until_ns_ = 0;  ///< next allowed drain attempt
+  std::uint64_t backoff_rng_ = 0;       ///< decorrelated-jitter PRNG state
   /// Demands pending (queued or deferred) plus reroutes mid-flight.
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> stopping_{false};
+
+  // --- Persistence plane ---
+  std::unique_ptr<persist::FileIo> owned_io_;  ///< when options.persist.io==0
+  std::unique_ptr<persist::PersistentStore> store_;  ///< null = disabled
+  /// Serializes WAL appends and rotation; capture_state() nests routes_mu_
+  /// inside it (never the other way around — see the crash-consistency
+  /// comment in service.cpp). mutable: stats() reads store counters under it.
+  mutable std::mutex persist_mu_;
+  bool recovered_ = false;  // the recovery_* fields are set once in the
+  std::uint64_t recovered_wal_records_ = 0;  // constructor and immutable
+  std::uint64_t recovery_reenqueued_ = 0;    // afterwards
+  std::uint64_t replay_anomalies_ = 0;
+  std::uint64_t recovery_us_ = 0;
+  std::atomic<bool> maint_stop_{false};
+  std::thread maint_thread_;  ///< joined in stop()
+
+  /// Per-worker liveness: worker w stores obs::now_ns() each loop
+  /// iteration. unique_ptr<atomic[]> because atomics are not movable.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> heartbeats_;
+  std::vector<obs::Gauge> heartbeat_g_;  ///< svc.worker.heartbeat_ns.<w>
 
   // Service counters: per-instance values mirrored into the process-wide
   // MetricsRegistry (svc.reroutes / svc.installs / ...) through a single
@@ -220,6 +331,7 @@ class RestorationService {
   obs::InstanceCounter revalidations_;
   obs::InstanceCounter deferred_count_;
   obs::InstanceCounter snapshots_;
+  obs::InstanceCounter backoff_waits_;
   obs::Gauge no_route_g_;  ///< mirrors no_route_count_ (set under routes_mu_)
 
   obs::FlightRecorder flight_;

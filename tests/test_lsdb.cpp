@@ -202,5 +202,61 @@ TEST(Flood, ScheduleFloodDrivesCallbacks) {
   EXPECT_DOUBLE_EQ(notified[3], 2.0);
 }
 
+// ---------------------------------------------------------------------------
+// Durable-state round-trip (the persistence plane's snapshot contract).
+// ---------------------------------------------------------------------------
+
+TEST(LsdbRecords, ExportImportRoundTripsViewAndGenerations) {
+  Lsdb a;
+  a.apply({0, false, 3});
+  a.apply({2, false, 5});
+  a.apply({2, true, 6});   // recovered: up but generation retained
+  a.apply({7, false, 0});  // unsequenced: down with generation 0
+  a.apply({4, true, 9});   // up edge with history
+
+  const std::vector<LinkStateRecord> records = a.export_records();
+  // Only touched edges appear, in edge order.
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].edge, 0u);
+  EXPECT_TRUE(records[0].down);
+  EXPECT_EQ(records[0].generation, 3u);
+  EXPECT_EQ(records[1].edge, 2u);
+  EXPECT_FALSE(records[1].down);
+  EXPECT_EQ(records[1].generation, 6u);
+  EXPECT_EQ(records[2].edge, 4u);
+  EXPECT_EQ(records[3].edge, 7u);
+  EXPECT_TRUE(records[3].down);
+  EXPECT_EQ(records[3].generation, 0u);
+
+  Lsdb b;
+  EXPECT_EQ(b.import_records(records), records.size());
+  for (graph::EdgeId e = 0; e < 10; ++e) {
+    EXPECT_EQ(b.knows_down(e), a.knows_down(e)) << "edge " << e;
+    EXPECT_EQ(b.applied_generation(e), a.applied_generation(e)) << "edge " << e;
+  }
+}
+
+TEST(LsdbRecords, ImportIntoNonFreshViewKeepsNewestWins) {
+  Lsdb live;
+  live.apply({1, false, 8});  // the live view already learned a newer LSA
+  Lsdb old;
+  old.apply({1, false, 2});
+  old.apply({3, false, 4});
+  // Importing the stale snapshot must not regress edge 1, and must still
+  // deliver edge 3's state.
+  live.import_records(old.export_records());
+  EXPECT_TRUE(live.knows_down(1));
+  EXPECT_EQ(live.applied_generation(1), 8u);
+  EXPECT_TRUE(live.knows_down(3));
+  EXPECT_EQ(live.applied_generation(3), 4u);
+}
+
+TEST(LsdbRecords, EmptyViewExportsNothing) {
+  Lsdb a;
+  EXPECT_TRUE(a.export_records().empty());
+  Lsdb b;
+  EXPECT_EQ(b.import_records({}), 0u);
+}
+
 }  // namespace
 }  // namespace rbpc::lsdb

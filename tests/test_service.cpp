@@ -829,5 +829,124 @@ TEST(ServiceStress, FreeRunningChurnWithConcurrentScraper) {
   svc.stop();
 }
 
+// ---------------------------------------------------------------------------
+// Deferred-set backoff policy (service/backoff.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, FirstDelayIsExactlyBase) {
+  BackoffPolicy policy;
+  std::uint64_t rng = 0;
+  // prev == 0: the window [base, max(base, 0*mult)] collapses to {base}.
+  EXPECT_EQ(next_backoff_us(0, policy, rng), policy.base_us);
+}
+
+TEST(BackoffTest, EveryDelayStaysWithinBaseAndCap) {
+  BackoffPolicy policy;
+  policy.base_us = 50;
+  policy.cap_us = 4000;
+  std::uint64_t rng = 0;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    prev = next_backoff_us(prev, policy, rng);
+    ASSERT_GE(prev, policy.base_us);
+    ASSERT_LE(prev, policy.cap_us);
+  }
+}
+
+TEST(BackoffTest, DegeneratePoliciesAreClamped) {
+  BackoffPolicy zero;
+  zero.base_us = 0;
+  zero.cap_us = 0;
+  std::uint64_t rng = 0;
+  // base clamps to 1, cap clamps to base: always exactly 1us, never 0 (a
+  // zero delay would spin) and never a divide-by-zero span.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(next_backoff_us(1 << 20, zero, rng), 1u);
+  }
+  BackoffPolicy inverted;
+  inverted.base_us = 500;
+  inverted.cap_us = 10;  // cap below base: clamped up to base
+  EXPECT_EQ(next_backoff_us(0, inverted, rng), 500u);
+}
+
+TEST(BackoffTest, DecorrelatedStreamsDiverge) {
+  // Two loops entering overload at the same instant must not retry in
+  // lockstep — different PRNG states yield different delay sequences.
+  BackoffPolicy policy;
+  std::uint64_t rng_a = 1;
+  std::uint64_t rng_b = 2;
+  std::uint64_t prev_a = policy.base_us;
+  std::uint64_t prev_b = policy.base_us;
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i) {
+    prev_a = next_backoff_us(prev_a, policy, rng_a);
+    prev_b = next_backoff_us(prev_b, policy, rng_b);
+    diverged = prev_a != prev_b;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, OverloadedServiceBacksOffAndStillConverges) {
+  // Same shape as OverloadDefersButStillConverges but with a tiny backoff
+  // window, verifying the pacing path (svc.defer.backoff metrics + the
+  // force-drain in quiesce) never costs convergence.
+  const Graph g = testing::make_wheel16();
+  Rng rng(43);
+  const std::vector<Demand> demands = random_demands(g, 24, rng);
+  chaos::StormConfig config = storm_config();
+  config.events = 20;
+  const chaos::Storm storm = chaos::plan_storm(g, config, rng);
+
+  ServiceOptions options;
+  options.queue_capacity = 2;
+  options.workers = 2;
+  options.defer_backoff.base_us = 20;
+  options.defer_backoff.cap_us = 200;
+  RestorationService svc(g, demands, options);
+  ingest_all(svc, storm.deliveries);
+
+  expect_identical_tables(
+      serial_replay(g, options.metric, demands, storm.final_mask()),
+      svc.routes(), "backoff overload");
+  (void)svc.stats().backoff_waits;  // populated; nonzero only under overload
+}
+
+// ---------------------------------------------------------------------------
+// Worker heartbeats (the service_churn watchdog's signal).
+// ---------------------------------------------------------------------------
+
+TEST(WorkerHeartbeat, EveryWorkerBeatsWhileIdleAndBusy) {
+  const Graph g = testing::make_wheel16();
+  Rng rng(44);
+  const std::vector<Demand> demands = random_demands(g, 8, rng);
+  ServiceOptions options;
+  options.workers = 3;
+  RestorationService svc(g, demands, options);
+  ASSERT_EQ(svc.num_workers(), 3u);
+
+  // Idle workers still beat (the heartbeat is fed on every loop pass, busy
+  // or not) — poll until all three have a nonzero timestamp.
+  for (int spin = 0; spin < 2000; ++spin) {
+    bool all = true;
+    for (std::size_t w = 0; w < svc.num_workers(); ++w) {
+      all = all && svc.worker_heartbeat_ns(w) != 0;
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  std::vector<std::uint64_t> first;
+  for (std::size_t w = 0; w < svc.num_workers(); ++w) {
+    first.push_back(svc.worker_heartbeat_ns(w));
+    ASSERT_NE(first.back(), 0u) << "worker " << w << " never beat";
+  }
+
+  // Heartbeats advance over time and never regress.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (std::size_t w = 0; w < svc.num_workers(); ++w) {
+    EXPECT_GE(svc.worker_heartbeat_ns(w), first[w]) << "worker " << w;
+  }
+  svc.stop();
+}
+
 }  // namespace
 }  // namespace rbpc::service

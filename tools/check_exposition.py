@@ -17,6 +17,10 @@ src/obs/exposition.cpp produces:
 With --require NAME (repeatable), the named families must be present —
 CI passes --require svc_reroutes_total --require svc_restore_latency to
 prove the scrape it curled mid-churn actually carried the service series.
+--require-prefix PREFIX (repeatable) instead requires at least one family
+whose name starts with the prefix — CI uses it to prove the persistence
+plane's whole persist_* and svc_recovery_* families landed in a mid-churn
+scrape without enumerating every counter.
 
 Exit codes: 0 valid, 1 invalid or missing required family, 2 usage error.
 """
@@ -45,6 +49,9 @@ def main():
     ap.add_argument("file", nargs="?", help="scrape file (default stdin)")
     ap.add_argument("--require", action="append", default=[],
                     help="family name that must be present (repeatable)")
+    ap.add_argument("--require-prefix", action="append", default=[],
+                    help="at least one family must start with this prefix "
+                         "(repeatable)")
     args = ap.parse_args()
 
     text = open(args.file).read() if args.file else sys.stdin.read()
@@ -114,6 +121,11 @@ def main():
     for fam in args.require:
         if fam not in seen_families and fam not in types:
             errors.append(f"required family {fam} absent from scrape")
+    all_families = seen_families | set(types)
+    for prefix in args.require_prefix:
+        if not any(f.startswith(prefix) for f in all_families):
+            errors.append(
+                f"no family with required prefix {prefix!r} in scrape")
 
     if errors:
         for e in errors:
